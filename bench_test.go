@@ -1,0 +1,92 @@
+// Benchmarks regenerating every evaluation point in the paper. Each
+// BenchmarkE<n> corresponds to experiment E<n> in DESIGN.md §4; the
+// experiment bodies live in internal/bench so cmd/scbench can print the
+// consolidated paper-style report. Run with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/subcontracts/shm"
+)
+
+// E1 — §9.3: per-invocation subcontract overhead vs a raw door call.
+func BenchmarkE1_DirectDoorCall_0B(b *testing.B)       { bench.E1DirectDoorCall(0)(b) }
+func BenchmarkE1_DirectDoorCall_1KiB(b *testing.B)     { bench.E1DirectDoorCall(1024)(b) }
+func BenchmarkE1_SingletonCall_0B(b *testing.B)        { bench.E1SubcontractCall("singleton", 0)(b) }
+func BenchmarkE1_SingletonCall_1KiB(b *testing.B)      { bench.E1SubcontractCall("singleton", 1024)(b) }
+func BenchmarkE1_SimplexCall_0B(b *testing.B)          { bench.E1SubcontractCall("simplex", 0)(b) }
+func BenchmarkE1_SimplexLocalFastPath_0B(b *testing.B) { bench.E1LocalOptimized(0)(b) }
+
+// E2 — §9.3: object-transmission overhead vs a raw door transfer.
+func BenchmarkE2_RawDoorTransfer(b *testing.B)       { bench.E2RawDoorTransfer(b) }
+func BenchmarkE2_ObjectTransfer_1Door(b *testing.B)  { bench.E2ObjectTransfer(1)(b) }
+func BenchmarkE2_ObjectTransfer_3Doors(b *testing.B) { bench.E2ObjectTransfer(3)(b) }
+
+// E3 — Figures 3/4, §7: the full simplex object life cycle.
+func BenchmarkE3_Lifecycle(b *testing.B) { bench.E3Lifecycle(b) }
+
+// E4 — §5: replicon invocation and failover.
+func BenchmarkE4_Replicon_AllAlive_1(b *testing.B)   { bench.E4InvokeAllAlive(1)(b) }
+func BenchmarkE4_Replicon_AllAlive_3(b *testing.B)   { bench.E4InvokeAllAlive(3)(b) }
+func BenchmarkE4_Replicon_AllAlive_5(b *testing.B)   { bench.E4InvokeAllAlive(5)(b) }
+func BenchmarkE4_FailoverFirstCall_3_1(b *testing.B) { bench.E4FailoverFirstCall(3, 1)(b) }
+func BenchmarkE4_FailoverFirstCall_5_4(b *testing.B) { bench.E4FailoverFirstCall(5, 4)(b) }
+
+// E5 — §8.1: cluster vs simplex doors and throughput.
+func BenchmarkE5_ExportDoors_Simplex_1000(b *testing.B) { bench.E5ExportDoors("simplex", 1000)(b) }
+func BenchmarkE5_ExportDoors_Cluster_1000(b *testing.B) { bench.E5ExportDoors("cluster", 1000)(b) }
+func BenchmarkE5_Invoke_Simplex(b *testing.B)           { bench.E5Invoke("simplex")(b) }
+func BenchmarkE5_Invoke_Cluster(b *testing.B)           { bench.E5Invoke("cluster")(b) }
+
+// E6 — §8.2/Figure 5: caching subcontract vs plain remote access over the
+// network door servers (loopback TCP).
+func BenchmarkE6_Read_Caching(b *testing.B)  { bench.E6Read("caching")(b) }
+func BenchmarkE6_Read_Plain(b *testing.B)    { bench.E6Read("plain")(b) }
+func BenchmarkE6_Mixed_Caching(b *testing.B) { bench.E6Mixed("caching")(b) }
+func BenchmarkE6_Mixed_Plain(b *testing.B)   { bench.E6Mixed("plain")(b) }
+
+// E7 — §8.3: reconnectable recovery latency.
+func BenchmarkE7_Reconnect_FirstCallAfterCrash(b *testing.B) { bench.E7ReconnectFirstCall(b) }
+func BenchmarkE7_Reconnect_SteadyState(b *testing.B)         { bench.E7SteadyState(b) }
+
+// E8 — §5.1.5: marshal_copy vs copy-then-marshal.
+func BenchmarkE8_CopyThenMarshal_1Door(b *testing.B)  { bench.E8CopyThenMarshal(1)(b) }
+func BenchmarkE8_MarshalCopy_1Door(b *testing.B)      { bench.E8MarshalCopy(1)(b) }
+func BenchmarkE8_CopyThenMarshal_4Doors(b *testing.B) { bench.E8CopyThenMarshal(4)(b) }
+func BenchmarkE8_MarshalCopy_4Doors(b *testing.B)     { bench.E8MarshalCopy(4)(b) }
+
+// E9 — §5.1.4: invoke_preamble shared-buffer optimization.
+func BenchmarkE9_Preamble_Direct_64B(b *testing.B)      { bench.E9Echo(shm.Direct, 64)(b) }
+func BenchmarkE9_Preamble_CopyAfter_64B(b *testing.B)   { bench.E9Echo(shm.CopyAfter, 64)(b) }
+func BenchmarkE9_Preamble_Direct_4KiB(b *testing.B)     { bench.E9Echo(shm.Direct, 4096)(b) }
+func BenchmarkE9_Preamble_CopyAfter_4KiB(b *testing.B)  { bench.E9Echo(shm.CopyAfter, 4096)(b) }
+func BenchmarkE9_Preamble_Direct_64KiB(b *testing.B)    { bench.E9Echo(shm.Direct, 65536)(b) }
+func BenchmarkE9_Preamble_CopyAfter_64KiB(b *testing.B) { bench.E9Echo(shm.CopyAfter, 65536)(b) }
+
+// E13 — §9.1: specialized stubs for popular type/subcontract combinations.
+func BenchmarkE13_GenericStubs_0B(b *testing.B)       { bench.E13Call("generic", 0)(b) }
+func BenchmarkE13_SpecializedStubs_0B(b *testing.B)   { bench.E13Call("specialized", 0)(b) }
+func BenchmarkE13_GenericStubs_1KiB(b *testing.B)     { bench.E13Call("generic", 1024)(b) }
+func BenchmarkE13_SpecializedStubs_1KiB(b *testing.B) { bench.E13Call("specialized", 1024)(b) }
+
+// E10 — §6.1/§6.2: compatible-subcontract discovery, cold vs warm.
+func BenchmarkE10_Discovery_Cold(b *testing.B) { bench.E10DiscoveryCold(b) }
+func BenchmarkE10_Discovery_Warm(b *testing.B) { bench.E10DiscoveryWarm(b) }
+
+// E12 — §9.3: wire-size overhead of the subcontract header.
+func TestE12_WireOverhead(t *testing.T) {
+	header, obj, raw, err := bench.WireSizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("singleton object = %d bytes, raw door = %d bytes, subcontract header = %d bytes", obj, raw, header)
+	// The header is the 4-byte subcontract ID plus the length-prefixed
+	// dynamic type name — small and constant, as §9.3 claims.
+	if header <= 0 || header > 64 {
+		t.Fatalf("header overhead = %d bytes, expected a small constant", header)
+	}
+}

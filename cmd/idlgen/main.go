@@ -1,0 +1,68 @@
+// Command idlgen compiles Spring IDL interface definitions into Go stubs
+// and skeletons over the subcontract machinery.
+//
+// Usage:
+//
+//	idlgen -package filesys -o gen.go file.idl
+//
+// The generated file contains, per interface: the runtime type identifier
+// and method table (registered at init), a client view whose methods run
+// invoke_preamble → marshal → invoke → unmarshal through the object's
+// subcontract, a server application interface, and a skeleton dispatching
+// incoming calls by operation number.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/format"
+	"os"
+
+	"repro/internal/idl"
+)
+
+func main() {
+	pkg := flag.String("package", "main", "package name for the generated file")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: idlgen -package NAME [-o FILE] input.idl\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+
+	src, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := idl.Parse(in, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	code, err := idl.Generate(f, *pkg)
+	if err != nil {
+		fatal(err)
+	}
+	pretty, err := format.Source([]byte(code))
+	if err != nil {
+		// Emit the raw code anyway so the formatting bug is debuggable.
+		fmt.Fprintf(os.Stderr, "idlgen: generated code does not format: %v\n", err)
+		pretty = []byte(code)
+	}
+	if *out == "" {
+		os.Stdout.Write(pretty)
+		return
+	}
+	if err := os.WriteFile(*out, pretty, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "idlgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,126 @@
+// Command scbench runs the paper's full experiment suite (DESIGN.md §4)
+// and prints a consolidated report in the shape of the paper's §9.3
+// evaluation: the subcontract mechanism's overheads, and the behaviour of
+// each example subcontract. EXPERIMENTS.md records a reference run.
+//
+// Usage:
+//
+//	scbench [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/subcontracts/shm"
+)
+
+var quick = flag.Bool("quick", false, "run shorter benchmarks")
+
+// run executes one experiment body under the testing benchmark driver.
+func run(name string, fn func(*testing.B)) testing.BenchmarkResult {
+	r := testing.Benchmark(fn)
+	fmt.Printf("  %-44s %12.0f ns/op %10d B/op %8d allocs/op\n",
+		name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	return r
+}
+
+func nsPerOp(r testing.BenchmarkResult) float64 {
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+func section(title string) {
+	fmt.Printf("\n%s\n", title)
+}
+
+func main() {
+	// Register the testing package's flags so -quick can shorten runs
+	// through -test.benchtime.
+	testing.Init()
+	flag.Parse()
+	if *quick {
+		if err := flag.Set("test.benchtime", "100x"); err != nil {
+			fmt.Println("note:", err)
+		}
+	}
+	fmt.Println("subcontract experiment suite (paper: SMLI TR-93-13, SOSP 1993)")
+	fmt.Println("each experiment id matches DESIGN.md §4 and EXPERIMENTS.md")
+
+	section("E1  §9.3 per-invocation subcontract overhead (minimal remote call)")
+	direct := run("direct door call, 0B", bench.E1DirectDoorCall(0))
+	single := run("stubs + singleton subcontract, 0B", bench.E1SubcontractCall("singleton", 0))
+	run("stubs + simplex subcontract, 0B", bench.E1SubcontractCall("simplex", 0))
+	run("simplex same-address-space fast path, 0B", bench.E1LocalOptimized(0))
+	run("direct door call, 1KiB", bench.E1DirectDoorCall(1024))
+	run("stubs + singleton subcontract, 1KiB", bench.E1SubcontractCall("singleton", 1024))
+	fmt.Printf("  => subcontract machinery adds %.0f ns to a minimal call (paper: <2µs on a SPARCstation 2)\n",
+		nsPerOp(single)-nsPerOp(direct))
+
+	section("E2  §9.3 object-transmission overhead")
+	raw := run("raw door identifier transfer", bench.E2RawDoorTransfer)
+	one := run("subcontract object transfer, 1 door", bench.E2ObjectTransfer(1))
+	run("subcontract object transfer, 3 doors", bench.E2ObjectTransfer(3))
+	fmt.Printf("  => marshal/unmarshal + subcontract ID add %.0f ns per transmitted object\n",
+		nsPerOp(one)-nsPerOp(raw))
+	if hdr, objB, rawB, err := bench.WireSizes(); err == nil {
+		fmt.Printf("  => E12 wire size: %d bytes/object vs %d raw (+%d-byte subcontract header)\n", objB, rawB, hdr)
+	}
+
+	section("E3  §7 full simplex object life cycle (create/transmit/invoke/copy/consume)")
+	run("lifecycle", bench.E3Lifecycle)
+
+	section("E4  §5 replicon: invocation and failover")
+	run("invoke, 1 replica alive", bench.E4InvokeAllAlive(1))
+	run("invoke, 3 replicas alive", bench.E4InvokeAllAlive(3))
+	run("invoke, 5 replicas alive", bench.E4InvokeAllAlive(5))
+	run("first call after 1 of 3 crash", bench.E4FailoverFirstCall(3, 1))
+	run("first call after 4 of 5 crash", bench.E4FailoverFirstCall(5, 4))
+
+	section("E5  §8.1 cluster vs simplex (doors per object; invoke cost)")
+	run("export 1000 objects via simplex", bench.E5ExportDoors("simplex", 1000))
+	run("export 1000 objects via cluster", bench.E5ExportDoors("cluster", 1000))
+	run("invoke via simplex", bench.E5Invoke("simplex"))
+	run("invoke via cluster (tag dispatch)", bench.E5Invoke("cluster"))
+
+	section("E6  §8.2 caching subcontract vs plain remote file reads (loopback TCP)")
+	cached := run("1KiB read, caching subcontract", bench.E6Read("caching"))
+	plain := run("1KiB read, plain subcontract", bench.E6Read("plain"))
+	fmt.Printf("  => local cache manager serves repeats %.1fx faster than crossing the wire\n",
+		nsPerOp(plain)/nsPerOp(cached))
+	run("95/5 read/write mix, caching", bench.E6Mixed("caching"))
+	run("95/5 read/write mix, plain", bench.E6Mixed("plain"))
+
+	section("E7  §8.3 reconnectable: crash recovery")
+	run("steady state call", bench.E7SteadyState)
+	run("first call after crash+restart", bench.E7ReconnectFirstCall)
+
+	section("E8  §5.1.5 marshal_copy vs copy-then-marshal")
+	run("copy then marshal, 1 door", bench.E8CopyThenMarshal(1))
+	run("marshal_copy, 1 door", bench.E8MarshalCopy(1))
+	run("copy then marshal, 4 doors", bench.E8CopyThenMarshal(4))
+	run("marshal_copy, 4 doors", bench.E8MarshalCopy(4))
+
+	section("E9  §5.1.4 invoke_preamble shared-buffer optimization")
+	run("direct-into-region, 64B", bench.E9Echo(shm.Direct, 64))
+	run("copy-after-marshal, 64B", bench.E9Echo(shm.CopyAfter, 64))
+	run("direct-into-region, 4KiB", bench.E9Echo(shm.Direct, 4096))
+	run("copy-after-marshal, 4KiB", bench.E9Echo(shm.CopyAfter, 4096))
+	run("direct-into-region, 64KiB", bench.E9Echo(shm.Direct, 65536))
+	run("copy-after-marshal, 64KiB", bench.E9Echo(shm.CopyAfter, 65536))
+
+	section("E10 §6.2 dynamic subcontract discovery")
+	run("cold (miss + name lookup + dynamic link)", bench.E10DiscoveryCold)
+	run("warm (subcontract already linked)", bench.E10DiscoveryWarm)
+
+	section("E13 §9.1 specialized stubs (type+subcontract combination)")
+	gen := run("general-purpose stubs, 0B", bench.E13Call("generic", 0))
+	spec := run("specialized stubs, 0B", bench.E13Call("specialized", 0))
+	run("general-purpose stubs, 1KiB", bench.E13Call("generic", 1024))
+	run("specialized stubs, 1KiB", bench.E13Call("specialized", 1024))
+	fmt.Printf("  => specialization recovers %.0f ns of the subcontract indirection\n",
+		nsPerOp(gen)-nsPerOp(spec))
+
+	fmt.Println("\ndone.")
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Subcontract: A
+// Flexible Base for Distributed Programming" (Hamilton, Powell &
+// Mitchell, Sun Microsystems Laboratories TR-93-13 / SOSP 1993).
+//
+// The paper's contribution — replaceable modules that control the basic
+// mechanisms of object invocation and argument passing — lives in
+// internal/core, with the substrate systems (door IPC kernel, network
+// door servers, IDL compiler, naming service, cache manager, file system)
+// in sibling internal packages. See DESIGN.md for the system inventory
+// and per-experiment index, EXPERIMENTS.md for the measured results, and
+// bench_test.go at this level for the experiment entry points.
+package repro

@@ -1,0 +1,206 @@
+// Atomic transactions demo (§8.4): two independent account servers, a
+// transfer between them under a transaction. The transaction subcontract
+// piggybacks the transaction identifier on every call and transparently
+// enlists each touched server as a two-phase-commit participant — the
+// account interface itself knows nothing about transactions.
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/stubs"
+	"repro/internal/subcontracts/txnsc"
+	"repro/internal/txn"
+)
+
+// Account interface: 0 balance() -> i64; 1 deposit(i64); 2 withdraw(i64).
+const (
+	opBalance core.OpNum = iota
+	opDeposit
+	opWithdraw
+)
+
+var accountMT = &core.MTable{
+	Type:      "example.account",
+	DefaultSC: txnsc.SC.ID(),
+	Ops:       []string{"balance", "deposit", "withdraw"},
+}
+
+func init() {
+	core.MustRegisterType("example.account", core.ObjectType)
+	core.MustRegisterMTable(accountMT)
+}
+
+// account is a transactional resource manager: in-transaction updates are
+// staged and applied at commit; withdrawals are validated at prepare.
+type account struct {
+	mu      sync.Mutex
+	name    string
+	balance int64
+	staged  map[txn.ID]int64 // pending delta per transaction
+}
+
+func newAccount(name string, opening int64) *account {
+	return &account{name: name, balance: opening, staged: make(map[txn.ID]int64)}
+}
+
+// Prepare vetoes commits that would overdraw.
+func (a *account) Prepare(id txn.ID) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.balance+a.staged[id] < 0 {
+		return fmt.Errorf("%s would be overdrawn", a.name)
+	}
+	return nil
+}
+
+// Commit applies the staged delta.
+func (a *account) Commit(id txn.ID) {
+	a.mu.Lock()
+	a.balance += a.staged[id]
+	delete(a.staged, id)
+	a.mu.Unlock()
+}
+
+// Abort discards it.
+func (a *account) Abort(id txn.ID) {
+	a.mu.Lock()
+	delete(a.staged, id)
+	a.mu.Unlock()
+}
+
+func (a *account) skeleton() txnsc.Skeleton {
+	return txnsc.SkeletonFunc(func(id txn.ID, op core.OpNum, args, results *buffer.Buffer) error {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		switch op {
+		case opBalance:
+			results.WriteInt64(a.balance + a.staged[id])
+			return nil
+		case opDeposit:
+			amt, err := args.ReadInt64()
+			if err != nil {
+				return err
+			}
+			if id == 0 {
+				a.balance += amt
+			} else {
+				a.staged[id] += amt
+			}
+			return nil
+		case opWithdraw:
+			amt, err := args.ReadInt64()
+			if err != nil {
+				return err
+			}
+			if id == 0 {
+				if a.balance < amt {
+					return fmt.Errorf("%s: insufficient funds", a.name)
+				}
+				a.balance -= amt
+			} else {
+				a.staged[id] -= amt
+			}
+			return nil
+		default:
+			return stubs.ErrBadOp
+		}
+	})
+}
+
+// Client stubs.
+func balance(obj *core.Object) int64 {
+	var v int64
+	if err := stubs.Call(obj, opBalance, nil, func(b *buffer.Buffer) error {
+		var err error
+		v, err = b.ReadInt64()
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
+func move(obj *core.Object, op core.OpNum, amt int64) error {
+	return stubs.Call(obj, op, func(b *buffer.Buffer) error {
+		b.WriteInt64(amt)
+		return nil
+	}, nil)
+}
+
+func main() {
+	k := kernel.New("bank")
+	coord := txn.NewCoordinator()
+
+	export := func(a *account) *core.Object {
+		env := core.NewEnv(k.NewDomain(a.name + "-server"))
+		if err := txnsc.Register(env.Registry); err != nil {
+			log.Fatal(err)
+		}
+		obj, _ := txnsc.Export(env, accountMT, a.skeleton(), a, coord, nil)
+		return obj
+	}
+	alice := newAccount("alice", 100)
+	bob := newAccount("bob", 20)
+
+	client := core.NewEnv(k.NewDomain("teller"))
+	if err := txnsc.Register(client.Registry); err != nil {
+		log.Fatal(err)
+	}
+	transferTo := func(obj *core.Object) *core.Object {
+		buf := buffer.New(64)
+		if err := obj.Marshal(buf); err != nil {
+			log.Fatal(err)
+		}
+		out, err := core.Unmarshal(client, accountMT, buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return out
+	}
+	aliceObj := transferTo(export(alice))
+	bobObj := transferTo(export(bob))
+
+	fmt.Printf("opening balances: alice=%d bob=%d\n", balance(aliceObj), balance(bobObj))
+
+	// A successful transfer: both movements commit atomically.
+	t1 := coord.Begin()
+	txnsc.With(client, t1)
+	if err := move(aliceObj, opWithdraw, 30); err != nil {
+		log.Fatal(err)
+	}
+	if err := move(bobObj, opDeposit, 30); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inside txn %d: alice=%d bob=%d (staged)\n", t1.ID(), balance(aliceObj), balance(bobObj))
+	if err := t1.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	txnsc.Clear(client)
+	fmt.Printf("after commit:     alice=%d bob=%d\n", balance(aliceObj), balance(bobObj))
+
+	// An overdrawing transfer: alice's prepare vetoes, nothing applies.
+	t2 := coord.Begin()
+	txnsc.With(client, t2)
+	if err := move(aliceObj, opWithdraw, 500); err != nil {
+		log.Fatal(err)
+	}
+	if err := move(bobObj, opDeposit, 500); err != nil {
+		log.Fatal(err)
+	}
+	err := t2.Commit()
+	txnsc.Clear(client)
+	if !errors.Is(err, txn.ErrAborted) {
+		log.Fatalf("expected abort, got %v", err)
+	}
+	fmt.Printf("overdraw vetoed:  %v\n", err)
+	fmt.Printf("after abort:      alice=%d bob=%d (unchanged)\n", balance(aliceObj), balance(bobObj))
+}

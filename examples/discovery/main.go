@@ -1,0 +1,125 @@
+// Dynamic subcontract discovery demo (§6.2): a legacy program linked only
+// with the singleton subcontract receives a replicated object. Its
+// unmarshal code peeks at the subcontract identifier, misses in the
+// registry, maps the identifier to "replicon.so" through a network name
+// service, checks the trusted search path, "dynamically links" the
+// library, and carries on — talking to a replicated object it was never
+// compiled to understand.
+//
+//	go run ./examples/discovery
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/naming"
+	"repro/internal/sctest"
+	"repro/internal/subcontracts/replicon"
+	"repro/internal/subcontracts/singleton"
+)
+
+func main() {
+	k := kernel.New("machine")
+
+	// The network name service mapping subcontract ids → library names.
+	scmapEnv := core.NewEnv(k.NewDomain("scmap"))
+	if err := singleton.Register(scmapEnv.Registry); err != nil {
+		log.Fatal(err)
+	}
+	scmap := naming.NewSCMapServer(scmapEnv)
+	scmap.Publish(replicon.SC.ID(), replicon.LibraryName)
+
+	// The administrator installs replicon.so in a standard directory.
+	store := core.NewLibraryStore()
+	store.Install("/usr/lib/subcontracts", replicon.LibraryName, replicon.Register)
+
+	// A replicated counter service.
+	g := replicon.NewGroup()
+	ctr := &sctest.Counter{}
+	for i := 0; i < 2; i++ {
+		renv := core.NewEnv(k.NewDomain("replica"))
+		if err := replicon.Register(renv.Registry); err != nil {
+			log.Fatal(err)
+		}
+		g.Join(renv, fmt.Sprintf("replica-%d", i), ctr.Skeleton())
+	}
+	expEnv := core.NewEnv(k.NewDomain("exporter"))
+	if err := replicon.Register(expEnv.Registry); err != nil {
+		log.Fatal(err)
+	}
+	obj := g.Export(expEnv, sctest.CounterMT)
+
+	// The legacy client: linked with singleton ONLY.
+	legacy := core.NewEnv(k.NewDomain("legacy-app"))
+	if err := singleton.Register(legacy.Registry); err != nil {
+		log.Fatal(err)
+	}
+	scmapObj, err := scmap.Object().Copy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := buffer.New(64)
+	if err := scmapObj.Marshal(buf); err != nil {
+		log.Fatal(err)
+	}
+	nameSvc, err := core.Unmarshal(legacy, naming.SCMapMT, buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	legacy.Registry.SetLoader(&core.Loader{
+		Names:      naming.SCMapClient{Obj: nameSvc},
+		Store:      store,
+		SearchPath: []string{"/usr/lib/subcontracts"},
+	})
+
+	// Ship the replicated object to the legacy program.
+	wire := buffer.New(128)
+	if err := obj.Marshal(wire); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("legacy program linked with: singleton only")
+	got, err := core.Unmarshal(legacy, sctest.CounterMT, wire)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("received object via dynamically discovered subcontract %q\n", got.SC.Name())
+	if v, err := sctest.Add(got, 5); err != nil || v != 5 {
+		log.Fatalf("Add = %d, %v", v, err)
+	}
+	fmt.Println("invoked the replicated object: counter =", ctr.Value())
+	_, misses, loads := legacy.Registry.Stats()
+	fmt.Printf("registry: %d miss, %d dynamic load\n", misses, loads)
+
+	// The security half: a library only present outside the trusted path
+	// is refused.
+	evilStore := core.NewLibraryStore()
+	evilStore.Install("/home/mallory", replicon.LibraryName, replicon.Register)
+	paranoid := core.NewEnv(k.NewDomain("paranoid-app"))
+	if err := singleton.Register(paranoid.Registry); err != nil {
+		log.Fatal(err)
+	}
+	paranoid.Registry.SetLoader(&core.Loader{
+		Names:      core.NameServiceFunc(func(core.ID) (string, error) { return replicon.LibraryName, nil }),
+		Store:      evilStore,
+		SearchPath: []string{"/usr/lib/subcontracts"},
+	})
+	wire2 := buffer.New(128)
+	cp, err := got.Copy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cp.Marshal(wire2); err != nil {
+		log.Fatal(err)
+	}
+	_, err = core.Unmarshal(paranoid, sctest.CounterMT, wire2)
+	if errors.Is(err, core.ErrUntrustedLibrary) {
+		fmt.Println("untrusted library correctly refused:", err)
+	} else {
+		log.Fatalf("expected refusal, got %v", err)
+	}
+}

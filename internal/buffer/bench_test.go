@@ -1,0 +1,72 @@
+package buffer
+
+import "testing"
+
+func BenchmarkWritePrimitives(b *testing.B) {
+	buf := New(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		buf.WriteUint32(1)
+		buf.WriteUint64(2)
+		buf.WriteUvarint(300)
+		buf.WriteBool(true)
+		buf.WriteFloat64(3.14)
+		buf.WriteString("hello")
+	}
+}
+
+func BenchmarkReadPrimitives(b *testing.B) {
+	buf := New(256)
+	buf.WriteUint32(1)
+	buf.WriteUint64(2)
+	buf.WriteUvarint(300)
+	buf.WriteBool(true)
+	buf.WriteFloat64(3.14)
+	buf.WriteString("hello")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Rewind()
+		if _, err := buf.ReadUint32(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := buf.ReadUint64(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := buf.ReadUvarint(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := buf.ReadBool(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := buf.ReadFloat64(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := buf.ReadString(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteBytes4K(b *testing.B) {
+	buf := New(8192)
+	p := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		buf.WriteBytes(p)
+	}
+}
+
+func BenchmarkSplice(b *testing.B) {
+	body := New(4096)
+	body.WriteBytes(make([]byte, 4000))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		head := New(4096)
+		head.WriteByte(0)
+		head.Splice(body)
+	}
+}

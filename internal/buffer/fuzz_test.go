@@ -1,0 +1,41 @@
+package buffer
+
+import "testing"
+
+// FuzzReads drives every read operation over arbitrary bytes: reads may
+// fail but must never panic, and length-prefixed reads must never return
+// more data than the buffer holds.
+func FuzzReads(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xD0, 1, 2, 3})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	seed := New(0)
+	seed.WriteString("hello")
+	seed.WriteUint64(42)
+	f.Add(append([]byte(nil), seed.Bytes()...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := FromParts(data, nil)
+		for b.Len() > 0 {
+			before := b.Len()
+			if s, err := b.ReadString(); err == nil && len(s) > len(data) {
+				t.Fatalf("ReadString returned %d bytes from a %d-byte buffer", len(s), len(data))
+			}
+			if _, err := b.ReadDoor(); err == nil {
+				t.Fatal("ReadDoor succeeded with no door slots")
+			}
+			if b.Len() == before {
+				if _, err := b.ReadByte(); err != nil {
+					t.Fatal("ReadByte failed with bytes remaining")
+				}
+			}
+		}
+		// Varint paths.
+		b2 := FromParts(data, nil)
+		for b2.Len() > 0 {
+			if _, err := b2.ReadUvarint(); err != nil {
+				break
+			}
+		}
+	})
+}

@@ -1,0 +1,260 @@
+// Package cache implements the machine-local cache manager used by the
+// caching subcontract (§8.2), originally developed for the Spring file
+// system.
+//
+// A cache manager accepts registrations of server doors (D1) and hands
+// back cache doors (D2). All invocations on a cacheable object then go to
+// the cache manager on the local machine, which serves cacheable
+// operations from its cache and forwards everything else to the server,
+// invalidating affected entries on mutating operations.
+//
+// Which operations are cacheable and which invalidate is the exporting
+// server's knowledge; it travels with the object as two operation sets,
+// so the manager itself stays generic (the consistency protocol between
+// machines remains the exporting service's business, as in the Spring
+// file system).
+package cache
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/stubs"
+	"repro/internal/subcontracts/singleton"
+)
+
+// ManagerType is the cache manager interface's type identifier.
+const ManagerType core.TypeID = "spring.cache_manager"
+
+// Manager operation numbers.
+const (
+	opRegister core.OpNum = iota
+	opStats
+)
+
+// ManagerMT is the cache manager method table.
+var ManagerMT = &core.MTable{
+	Type:      ManagerType,
+	DefaultSC: singleton.SCID,
+	Ops:       []string{"register", "stats"},
+}
+
+func init() {
+	core.MustRegisterType(ManagerType, core.ObjectType)
+	core.MustRegisterMTable(ManagerMT)
+}
+
+// Stats counts cache activity, for the E6 experiment.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Forwards  uint64 // non-cacheable operations passed through
+	Invalidns uint64 // invalidations triggered by mutating operations
+}
+
+// entry is the per-server-door cache state.
+type entry struct {
+	ref kernel.Ref // reference to the server door (for identity + calls)
+	h   kernel.Handle
+
+	mu      sync.Mutex
+	replies map[string][]byte // (opnum||args) → reply bytes
+}
+
+// Manager is a cache manager server.
+type Manager struct {
+	env *core.Env
+
+	mu      sync.Mutex
+	entries []*entry
+	stats   Stats
+
+	self *core.Object
+	door *kernel.Door
+}
+
+// NewManager creates a cache manager served from env's domain, exported
+// with the singleton subcontract.
+func NewManager(env *core.Env) *Manager {
+	m := &Manager{env: env}
+	m.self, m.door = singleton.Export(env, ManagerMT, m.skeleton(), nil)
+	return m
+}
+
+// Object returns the manager's own object (Copy before passing on).
+func (m *Manager) Object() *core.Object { return m.self }
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// lookup finds (or creates) the entry for a server door reference. The
+// manager deduplicates by door identity, so every client of one remote
+// object on this machine shares one cache.
+func (m *Manager) lookup(ref kernel.Ref) *entry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, e := range m.entries {
+		if e.ref.SameDoor(ref) {
+			ref.Release()
+			return e
+		}
+	}
+	e := &entry{ref: ref, h: m.env.Domain.AdoptRef(ref.Dup()), replies: make(map[string][]byte)}
+	m.entries = append(m.entries, e)
+	return e
+}
+
+// register wires a cache door (D2) in front of a server door (D1).
+func (m *Manager) register(d1 kernel.Ref, cacheable, invalidate OpSet) kernel.Ref {
+	e := m.lookup(d1)
+	proc := func(req *buffer.Buffer) (*buffer.Buffer, error) {
+		return m.serve(e, cacheable, invalidate, req)
+	}
+	h, _ := m.env.Domain.CreateDoor(proc, nil)
+	ref, err := m.env.Domain.RefOf(h)
+	if err != nil {
+		panic(err) // the handle was created on the previous line
+	}
+	_ = m.env.Domain.DeleteDoor(h)
+	return ref
+}
+
+// serve handles one invocation arriving at a cache door.
+func (m *Manager) serve(e *entry, cacheable, invalidate OpSet, req *buffer.Buffer) (*buffer.Buffer, error) {
+	op, err := req.PeekUint32()
+	if err != nil {
+		return nil, fmt.Errorf("cache: truncated call: %w", err)
+	}
+	switch {
+	case cacheable.Has(op) && req.DoorCount() == 0:
+		key := string(req.Bytes())
+		e.mu.Lock()
+		cached, ok := e.replies[key]
+		e.mu.Unlock()
+		if ok {
+			m.count(func(s *Stats) { s.Hits++ })
+			reply := make([]byte, len(cached))
+			copy(reply, cached)
+			return buffer.FromParts(reply, nil), nil
+		}
+		m.count(func(s *Stats) { s.Misses++ })
+		reply, err := m.env.Domain.Call(e.h, req)
+		if err != nil {
+			return nil, err
+		}
+		// Only door-free replies are cacheable: a door reference is a
+		// capability that cannot be replayed.
+		if reply.DoorCount() == 0 {
+			stored := make([]byte, len(reply.Bytes()))
+			copy(stored, reply.Bytes())
+			e.mu.Lock()
+			e.replies[key] = stored
+			e.mu.Unlock()
+		}
+		return reply, nil
+	case invalidate.Has(op):
+		m.count(func(s *Stats) { s.Invalidns++; s.Forwards++ })
+		e.mu.Lock()
+		clear(e.replies)
+		e.mu.Unlock()
+		return m.env.Domain.Call(e.h, req)
+	default:
+		m.count(func(s *Stats) { s.Forwards++ })
+		return m.env.Domain.Call(e.h, req)
+	}
+}
+
+func (m *Manager) count(f func(*Stats)) {
+	m.mu.Lock()
+	f(&m.stats)
+	m.mu.Unlock()
+}
+
+// skeleton serves the manager's own Spring interface.
+func (m *Manager) skeleton() stubs.Skeleton {
+	return stubs.SkeletonFunc(func(op core.OpNum, args, results *buffer.Buffer) error {
+		switch op {
+		case opRegister:
+			slot, err := args.ReadDoor()
+			if err != nil {
+				return err
+			}
+			d1, ok := slot.(kernel.Ref)
+			if !ok {
+				return fmt.Errorf("cache: register: %T is not a door", slot)
+			}
+			cacheable, err := ReadOpSet(args)
+			if err != nil {
+				return err
+			}
+			invalidate, err := ReadOpSet(args)
+			if err != nil {
+				return err
+			}
+			results.WriteDoor(m.register(d1, cacheable, invalidate))
+			return nil
+		case opStats:
+			s := m.Stats()
+			results.WriteUint64(s.Hits)
+			results.WriteUint64(s.Misses)
+			results.WriteUint64(s.Forwards)
+			results.WriteUint64(s.Invalidns)
+			return nil
+		default:
+			return stubs.ErrBadOp
+		}
+	})
+}
+
+// Client is the client view of a cache manager.
+type Client struct {
+	Obj *core.Object
+}
+
+// Register presents a server door to the manager and receives a cache
+// door. The caller keeps ownership of d1 (a copy is sent).
+func (c Client) Register(d1 kernel.Handle, cacheable, invalidate OpSet) (kernel.Handle, error) {
+	var d2 kernel.Handle
+	err := stubs.Call(c.Obj, opRegister,
+		func(b *buffer.Buffer) error {
+			if err := c.Obj.Env.Domain.CopyToBuffer(d1, b); err != nil {
+				return err
+			}
+			cacheable.MarshalTo(b)
+			invalidate.MarshalTo(b)
+			return nil
+		},
+		func(b *buffer.Buffer) error {
+			var err error
+			d2, err = c.Obj.Env.Domain.AdoptFromBuffer(b)
+			return err
+		})
+	return d2, err
+}
+
+// RemoteStats fetches the manager's counters through its Spring interface.
+func (c Client) RemoteStats() (Stats, error) {
+	var s Stats
+	err := stubs.Call(c.Obj, opStats, nil, func(b *buffer.Buffer) error {
+		var err error
+		if s.Hits, err = b.ReadUint64(); err != nil {
+			return err
+		}
+		if s.Misses, err = b.ReadUint64(); err != nil {
+			return err
+		}
+		if s.Forwards, err = b.ReadUint64(); err != nil {
+			return err
+		}
+		s.Invalidns, err = b.ReadUint64()
+		return err
+	})
+	return s, err
+}

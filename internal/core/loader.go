@@ -1,0 +1,144 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Dynamic discovery of new subcontracts (§6.2).
+//
+// In Spring, a registry miss is resolved by using a network naming context
+// to map the subcontract identifier into a library name (e.g. replicon.so)
+// and dynamically linking that library — but, for security, the dynamic
+// linker only loads libraries found on a designated search path of
+// trustworthy directories, so installing a new subcontract library
+// requires a privileged administrator.
+//
+// Go cannot dlopen code at run time in an offline build, so the dynamic
+// linker is simulated while preserving the whole observable protocol:
+//
+//   - LibraryStore is the "filesystem": directories holding installable
+//     libraries. A library is an install function that registers its
+//     subcontract(s) into the loading domain's registry — exactly the role
+//     of a shared object's registration entry point.
+//   - NameService maps a subcontract ID to a library name; in the full
+//     system this is a network naming context (see package naming, which
+//     provides an adapter).
+//   - Loader holds a domain's trusted search path. Libraries present in
+//     the store but not under a trusted directory are refused with
+//     ErrUntrustedLibrary.
+//
+// This substitution is recorded in DESIGN.md §2.
+
+// Errors returned during discovery.
+var (
+	// ErrNoLibrary is returned when the name service has no mapping or
+	// no directory in the store holds the named library at all.
+	ErrNoLibrary = errors.New("core: no library provides subcontract")
+	// ErrUntrustedLibrary is returned when the library exists only in
+	// directories outside the domain's trusted search path.
+	ErrUntrustedLibrary = errors.New("core: library found only on untrusted path")
+)
+
+// InstallFunc is a subcontract library's registration entry point.
+type InstallFunc func(*Registry) error
+
+// LibraryStore models the shared filesystem of subcontract libraries.
+// It may be shared by many domains (and, via naming, many machines).
+type LibraryStore struct {
+	mu   sync.RWMutex
+	dirs map[string]map[string]InstallFunc
+}
+
+// NewLibraryStore returns an empty store.
+func NewLibraryStore() *LibraryStore {
+	return &LibraryStore{dirs: make(map[string]map[string]InstallFunc)}
+}
+
+// Install places library lib (e.g. "replicon.so") in directory dir (e.g.
+// "/usr/lib/subcontracts"). Installing into a directory that domains trust
+// is the privileged-administrator step of §6.2.
+func (s *LibraryStore) Install(dir, lib string, f InstallFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.dirs[dir]
+	if d == nil {
+		d = make(map[string]InstallFunc)
+		s.dirs[dir] = d
+	}
+	d[lib] = f
+}
+
+// Remove deletes a library from a directory.
+func (s *LibraryStore) Remove(dir, lib string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.dirs[dir], lib)
+}
+
+// lookup finds lib under dir.
+func (s *LibraryStore) lookup(dir, lib string) (InstallFunc, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.dirs[dir][lib]
+	return f, ok
+}
+
+// existsAnywhere reports whether lib exists in any directory.
+func (s *LibraryStore) existsAnywhere(lib string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, d := range s.dirs {
+		if _, ok := d[lib]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// NameService maps a subcontract identifier to a library name. The naming
+// package provides an implementation backed by a (network) naming context.
+type NameService interface {
+	LibraryFor(id ID) (string, error)
+}
+
+// NameServiceFunc adapts a function to the NameService interface.
+type NameServiceFunc func(id ID) (string, error)
+
+// LibraryFor implements NameService.
+func (f NameServiceFunc) LibraryFor(id ID) (string, error) { return f(id) }
+
+// Loader is a domain's dynamic-linking policy: where to ask for ID→library
+// mappings, which store plays the filesystem, and which directories the
+// domain trusts.
+type Loader struct {
+	Names      NameService
+	Store      *LibraryStore
+	SearchPath []string
+}
+
+// Load resolves id to a library name, locates the library on the trusted
+// search path, and runs its install function against reg. It implements
+// the full §6.2 sequence including the security refusal.
+func (l *Loader) Load(id ID, reg *Registry) error {
+	if l.Names == nil || l.Store == nil {
+		return fmt.Errorf("%w: id %d (loader not configured)", ErrNoLibrary, id)
+	}
+	lib, err := l.Names.LibraryFor(id)
+	if err != nil {
+		return fmt.Errorf("%w: id %d: %v", ErrNoLibrary, id, err)
+	}
+	for _, dir := range l.SearchPath {
+		if install, ok := l.Store.lookup(dir, lib); ok {
+			if err := install(reg); err != nil {
+				return fmt.Errorf("core: installing %s from %s: %w", lib, dir, err)
+			}
+			return nil
+		}
+	}
+	if l.Store.existsAnywhere(lib) {
+		return fmt.Errorf("%w: %s (id %d)", ErrUntrustedLibrary, lib, id)
+	}
+	return fmt.Errorf("%w: %s (id %d)", ErrNoLibrary, lib, id)
+}

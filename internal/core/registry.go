@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry is a domain's subcontract registry (§6.1–§6.2). A program is
+// typically linked with a set of libraries providing standard subcontracts
+// (Register); at run time it may encounter objects whose subcontracts are
+// not in its libraries, in which case the registry consults its Loader to
+// map the subcontract identifier to a library name and dynamically link
+// the library in.
+type Registry struct {
+	mu     sync.RWMutex
+	byID   map[ID]Subcontract
+	byName map[string]Subcontract
+	loader *Loader
+
+	// Statistics for the discovery experiments.
+	lookups      int
+	misses       int
+	dynamicLoads int
+}
+
+// NewRegistry returns an empty registry with no loader.
+func NewRegistry() *Registry {
+	return &Registry{
+		byID:   make(map[ID]Subcontract),
+		byName: make(map[string]Subcontract),
+	}
+}
+
+// SetLoader installs the dynamic-discovery machinery consulted on misses.
+func (r *Registry) SetLoader(l *Loader) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.loader = l
+}
+
+// Register installs sc, as linking a subcontract library does. Registering
+// ID 0 (the nil marker) or a duplicate identifier is an error.
+func (r *Registry) Register(sc Subcontract) error {
+	if sc.ID() == NilID {
+		return fmt.Errorf("core: subcontract %q uses reserved id 0", sc.Name())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.byID[sc.ID()]; ok && old != sc {
+		return fmt.Errorf("core: subcontract id %d already registered to %q", sc.ID(), old.Name())
+	}
+	r.byID[sc.ID()] = sc
+	r.byName[sc.Name()] = sc
+	return nil
+}
+
+// MustRegister is Register for setup code that cannot continue on failure.
+func (r *Registry) MustRegister(sc Subcontract) {
+	if err := r.Register(sc); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup finds the subcontract registered under id. On a miss it invokes
+// the loader (if any) to discover, verify, and link the subcontract's
+// library, then retries — the §6.2 protocol.
+func (r *Registry) Lookup(id ID) (Subcontract, error) {
+	r.mu.RLock()
+	sc, ok := r.byID[id]
+	loader := r.loader
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	r.lookups++
+	if !ok {
+		r.misses++
+	}
+	r.mu.Unlock()
+
+	if ok {
+		return sc, nil
+	}
+	if loader == nil {
+		return nil, fmt.Errorf("%w: id %d (no loader configured)", ErrUnknownSubcontract, id)
+	}
+	loadErr := loader.Load(id, r)
+	r.mu.Lock()
+	sc, ok = r.byID[id]
+	if ok {
+		r.dynamicLoads++
+	}
+	r.mu.Unlock()
+	if ok {
+		// Registered — by our load or by a concurrent one that raced us
+		// (in which case our own install may have reported a duplicate).
+		return sc, nil
+	}
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	return nil, fmt.Errorf("%w: id %d (library loaded but did not register it)", ErrUnknownSubcontract, id)
+}
+
+// LookupName finds a subcontract by name among those currently linked.
+func (r *Registry) LookupName(name string) (Subcontract, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	sc, ok := r.byName[name]
+	return sc, ok
+}
+
+// Stats reports (lookups, misses, dynamic loads) since creation.
+func (r *Registry) Stats() (lookups, misses, loads int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.lookups, r.misses, r.dynamicLoads
+}

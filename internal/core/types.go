@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The runtime type graph (§6.3): standard base types carry core semantics,
+// other types inherit from them and add semantics such as replication.
+// Clients narrow an object's type at run time to determine whether an
+// object of a statically determined type, such as file, actually supports
+// a subtype with richer semantics, such as replicated_file.
+//
+// Types and method tables are compile-time knowledge linked into programs
+// (they come from IDL-generated stubs), so unlike subcontract registries —
+// which are per-domain and grow at run time — the graph is process-wide.
+
+var typeGraph = struct {
+	sync.RWMutex
+	parents map[TypeID][]TypeID
+	mtables map[TypeID]*MTable
+}{
+	parents: make(map[TypeID][]TypeID),
+	mtables: make(map[TypeID]*MTable),
+}
+
+// ObjectType is the root of the type graph: the standard base type every
+// IDL interface implicitly descends from. GenericMT is its method table,
+// used when a program must hold an object of a dynamic type it has no
+// stubs for (for example a naming server storing arbitrary bindings).
+const ObjectType TypeID = "spring.object"
+
+// GenericMT is the method table for ObjectType.
+var GenericMT = &MTable{Type: ObjectType}
+
+func init() {
+	MustRegisterType(ObjectType)
+	MustRegisterMTable(GenericMT)
+}
+
+// RegisterType declares t as a type inheriting (possibly multiply) from
+// parents. Registering the same type twice merges parent sets, so multiple
+// generated stub packages can declare shared bases. All parents must be
+// registered first; IDL enforces this order and generated code preserves it.
+func RegisterType(t TypeID, parents ...TypeID) error {
+	typeGraph.Lock()
+	defer typeGraph.Unlock()
+	for _, p := range parents {
+		if _, ok := typeGraph.parents[p]; !ok {
+			return fmt.Errorf("%w: parent %q of %q", ErrBadType, p, t)
+		}
+	}
+	typeGraph.parents[t] = append(typeGraph.parents[t], parents...)
+	return nil
+}
+
+// MustRegisterType is RegisterType for package init of generated stubs.
+func MustRegisterType(t TypeID, parents ...TypeID) {
+	if err := RegisterType(t, parents...); err != nil {
+		panic(err)
+	}
+}
+
+// TypeKnown reports whether t has been registered.
+func TypeKnown(t TypeID) bool {
+	typeGraph.RLock()
+	defer typeGraph.RUnlock()
+	_, ok := typeGraph.parents[t]
+	return ok
+}
+
+// IsA reports whether t is u or a (transitive, multiple-inheritance)
+// subtype of u.
+func IsA(t, u TypeID) bool {
+	if t == u {
+		return true
+	}
+	typeGraph.RLock()
+	defer typeGraph.RUnlock()
+	return isALocked(t, u, nil)
+}
+
+func isALocked(t, u TypeID, seen map[TypeID]bool) bool {
+	if t == u {
+		return true
+	}
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[TypeID]bool)
+	}
+	seen[t] = true
+	for _, p := range typeGraph.parents[t] {
+		if isALocked(p, u, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// Parents returns the direct parents of t.
+func Parents(t TypeID) []TypeID {
+	typeGraph.RLock()
+	defer typeGraph.RUnlock()
+	ps := typeGraph.parents[t]
+	out := make([]TypeID, len(ps))
+	copy(out, ps)
+	return out
+}
+
+// RegisterMTable publishes the method table for mt.Type, so unmarshal code
+// receiving an object of a richer dynamic type can substitute the richer
+// table (and clients can then narrow to it). The type must be registered.
+func RegisterMTable(mt *MTable) error {
+	if !TypeKnown(mt.Type) {
+		return fmt.Errorf("%w: %q", ErrBadType, mt.Type)
+	}
+	typeGraph.Lock()
+	defer typeGraph.Unlock()
+	typeGraph.mtables[mt.Type] = mt
+	return nil
+}
+
+// MustRegisterMTable is RegisterMTable for package init of generated stubs.
+func MustRegisterMTable(mt *MTable) {
+	if err := RegisterMTable(mt); err != nil {
+		panic(err)
+	}
+}
+
+// LookupMTable returns the registered method table for t.
+func LookupMTable(t TypeID) (*MTable, bool) {
+	typeGraph.RLock()
+	defer typeGraph.RUnlock()
+	mt, ok := typeGraph.mtables[t]
+	return mt, ok
+}

@@ -1,0 +1,107 @@
+// Package dgram provides a lossy, bounded, unidirectional datagram
+// channel: the simulated network packet substrate for the video
+// subcontract (§8.4). Real live-video protocols ride on unreliable
+// datagrams; the channel reproduces the properties that matter to the
+// protocol — packets may be dropped under loss or backpressure, are never
+// duplicated or reordered, and delivery is best-effort.
+package dgram
+
+import "sync"
+
+// Stats counts channel activity.
+type Stats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+}
+
+// Channel is a lossy packet channel. The zero value is not usable; use New.
+type Channel struct {
+	mu        sync.Mutex
+	q         chan []byte
+	dropEvery int
+	count     uint64
+	closed    bool
+	stats     Stats
+}
+
+// New creates a channel buffering up to capacity packets. If dropEvery is
+// n > 0, every nth packet is dropped (deterministic loss, so experiments
+// are reproducible). Packets that arrive with the buffer full are dropped
+// regardless (backpressure loss).
+func New(capacity, dropEvery int) *Channel {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Channel{q: make(chan []byte, capacity), dropEvery: dropEvery}
+}
+
+// Send offers a packet; it never blocks. The packet is copied. It reports
+// whether the packet was enqueued.
+func (c *Channel) Send(p []byte) bool {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return false
+	}
+	c.count++
+	c.stats.Sent++
+	if c.dropEvery > 0 && c.count%uint64(c.dropEvery) == 0 {
+		c.stats.Dropped++
+		c.mu.Unlock()
+		return false
+	}
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	select {
+	case c.q <- cp:
+		c.stats.Delivered++
+		c.mu.Unlock()
+		return true
+	default:
+		c.stats.Dropped++
+		c.mu.Unlock()
+		return false
+	}
+}
+
+// Recv blocks for the next packet; ok is false once the channel is closed
+// and drained.
+func (c *Channel) Recv() (p []byte, ok bool) {
+	p, ok = <-c.q
+	return p, ok
+}
+
+// TryRecv returns the next packet without blocking.
+func (c *Channel) TryRecv() (p []byte, ok bool) {
+	select {
+	case p, ok = <-c.q:
+		return p, ok
+	default:
+		return nil, false
+	}
+}
+
+// Close stops delivery. Pending packets can still be received.
+func (c *Channel) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.q)
+	}
+}
+
+// Closed reports whether Close was called.
+func (c *Channel) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// Stats returns a snapshot of the channel's counters.
+func (c *Channel) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

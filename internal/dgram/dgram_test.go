@@ -1,0 +1,90 @@
+package dgram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeliverInOrder(t *testing.T) {
+	c := New(10, 0)
+	for i := byte(0); i < 5; i++ {
+		if !c.Send([]byte{i}) {
+			t.Fatalf("send %d failed", i)
+		}
+	}
+	for i := byte(0); i < 5; i++ {
+		p, ok := c.TryRecv()
+		if !ok || p[0] != i {
+			t.Fatalf("recv %d = %v, %v", i, p, ok)
+		}
+	}
+	if _, ok := c.TryRecv(); ok {
+		t.Fatal("phantom packet")
+	}
+}
+
+func TestDeterministicDrop(t *testing.T) {
+	c := New(100, 3) // every 3rd packet dropped
+	for i := 0; i < 9; i++ {
+		c.Send([]byte{byte(i)})
+	}
+	s := c.Stats()
+	if s.Sent != 9 || s.Dropped != 3 || s.Delivered != 6 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestBackpressureDrop(t *testing.T) {
+	c := New(2, 0)
+	for i := 0; i < 5; i++ {
+		c.Send([]byte{byte(i)})
+	}
+	s := c.Stats()
+	if s.Delivered != 2 || s.Dropped != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestCloseDrains(t *testing.T) {
+	c := New(4, 0)
+	c.Send([]byte{1})
+	c.Close()
+	if !c.Closed() {
+		t.Fatal("not closed")
+	}
+	if p, ok := c.Recv(); !ok || p[0] != 1 {
+		t.Fatalf("pending packet lost: %v %v", p, ok)
+	}
+	if _, ok := c.Recv(); ok {
+		t.Fatal("recv after drain")
+	}
+	if c.Send([]byte{2}) {
+		t.Fatal("send after close succeeded")
+	}
+}
+
+func TestSendCopies(t *testing.T) {
+	c := New(2, 0)
+	p := []byte{7}
+	c.Send(p)
+	p[0] = 9
+	got, _ := c.TryRecv()
+	if got[0] != 7 {
+		t.Fatal("packet aliased caller's buffer")
+	}
+}
+
+// Property: counters always balance: sent == delivered + dropped.
+func TestQuickCounters(t *testing.T) {
+	f := func(payloads [][]byte, capacity uint8, dropEvery uint8) bool {
+		c := New(int(capacity%8)+1, int(dropEvery%4))
+		for _, p := range payloads {
+			c.Send(p)
+		}
+		s := c.Stats()
+		return s.Sent == s.Delivered+s.Dropped
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+package filesys
+
+import (
+	"go/format"
+	"os"
+	"testing"
+
+	"repro/internal/idl"
+)
+
+// TestGeneratedCodeInSync guards against drift between filesys.idl and
+// the checked-in gen.go: if this fails, regenerate with
+//
+//	go run ./cmd/idlgen -package filesys -o internal/filesys/gen.go internal/filesys/filesys.idl
+func TestGeneratedCodeInSync(t *testing.T) {
+	src, err := os.ReadFile("filesys.idl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := idl.Parse("internal/filesys/filesys.idl", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := idl.Generate(f, "filesys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pretty, err := format.Source([]byte(code))
+	if err != nil {
+		t.Fatal(err)
+	}
+	current, err := os.ReadFile("gen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pretty) != string(current) {
+		t.Fatal("gen.go is stale; regenerate with cmd/idlgen (see test comment)")
+	}
+}

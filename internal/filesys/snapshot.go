@@ -1,0 +1,92 @@
+package filesys
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/buffer"
+)
+
+// Store persistence: the stable storage behind reconnectable servers
+// (§8.3 assumes "servers [that] keep their state in stable storage") and
+// the springfsd daemon's -snapshot flag. The format reuses the project's
+// own marshal stream.
+
+// snapshotMagic guards against loading foreign files.
+const snapshotMagic = 0x53465331 // "SFS1"
+
+// Snapshot serializes the store's files.
+func (s *Store) Snapshot() []byte {
+	s.mu.Lock()
+	files := make([]*fileState, 0, len(s.files))
+	for _, st := range s.files {
+		files = append(files, st)
+	}
+	s.mu.Unlock()
+
+	buf := buffer.New(1024)
+	buf.WriteUint32(snapshotMagic)
+	buf.WriteUvarint(uint64(len(files)))
+	for _, st := range files {
+		st.mu.Lock()
+		buf.WriteString(st.name)
+		buf.WriteUint32(st.version)
+		buf.WriteBytes(st.data)
+		st.mu.Unlock()
+	}
+	return buf.Bytes()
+}
+
+// Restore replaces the store's contents from a snapshot.
+func (s *Store) Restore(data []byte) error {
+	buf := buffer.FromParts(data, nil)
+	magic, err := buf.ReadUint32()
+	if err != nil || magic != snapshotMagic {
+		return fmt.Errorf("filesys: not a store snapshot (magic %#x, %v)", magic, err)
+	}
+	n, err := buf.ReadUvarint()
+	if err != nil {
+		return err
+	}
+	files := make(map[string]*fileState, n)
+	for i := uint64(0); i < n; i++ {
+		name, err := buf.ReadString()
+		if err != nil {
+			return fmt.Errorf("filesys: corrupt snapshot: %w", err)
+		}
+		version, err := buf.ReadUint32()
+		if err != nil {
+			return fmt.Errorf("filesys: corrupt snapshot: %w", err)
+		}
+		p, err := buf.ReadBytes()
+		if err != nil {
+			return fmt.Errorf("filesys: corrupt snapshot: %w", err)
+		}
+		files[name] = &fileState{name: name, version: version, data: append([]byte(nil), p...)}
+	}
+	s.mu.Lock()
+	s.files = files
+	s.mu.Unlock()
+	return nil
+}
+
+// SaveFile writes the store snapshot to path.
+func (s *Store) SaveFile(path string) error {
+	return os.WriteFile(path, s.Snapshot(), 0o644)
+}
+
+// LoadFile restores the store from path; a missing file leaves the store
+// empty (first boot).
+func (s *Store) LoadFile(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	return s.Restore(data)
+}
+
+// Store exposes the service's backing store (for persistence wiring).
+func (s *Service) Store() *Store { return s.store }

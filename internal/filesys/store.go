@@ -1,0 +1,184 @@
+// Package filesys implements the Spring file system of §7/§8: the service
+// whose type family (file, cacheable_file, replicated_file,
+// reconnectable_file) demonstrates that radically different object
+// mechanisms can coexist behind the same application-visible interfaces.
+// The interfaces are defined in filesys.idl; gen.go is produced from it by
+// cmd/idlgen.
+package filesys
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/stubs"
+)
+
+// Remote error codes raised by file system operations.
+const (
+	CodeNotFound uint32 = 1201
+	CodeExists   uint32 = 1202
+)
+
+// IsNotFound reports whether err is the file-not-found remote exception.
+func IsNotFound(err error) bool { return stubs.CodeOf(err) == CodeNotFound }
+
+// fileState is the underlying state of one file: what the server owns and
+// Spring objects point at.
+type fileState struct {
+	mu      sync.Mutex
+	name    string
+	data    []byte
+	version uint32
+}
+
+func (st *fileState) size() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return int64(len(st.data))
+}
+
+func (st *fileState) read(offset int64, count int32) []byte {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if offset < 0 || offset >= int64(len(st.data)) || count <= 0 {
+		return nil
+	}
+	end := offset + int64(count)
+	if end > int64(len(st.data)) {
+		end = int64(len(st.data))
+	}
+	out := make([]byte, end-offset)
+	copy(out, st.data[offset:end])
+	return out
+}
+
+func (st *fileState) write(offset int64, data []byte) int32 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if offset < 0 {
+		return 0
+	}
+	end := offset + int64(len(data))
+	if end > int64(len(st.data)) {
+		grown := make([]byte, end)
+		copy(grown, st.data)
+		st.data = grown
+	}
+	copy(st.data[offset:end], data)
+	st.version++
+	return int32(len(data))
+}
+
+func (st *fileState) ver() uint32 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.version
+}
+
+// Store is a server's collection of file state.
+type Store struct {
+	mu    sync.Mutex
+	files map[string]*fileState
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{files: make(map[string]*fileState)}
+}
+
+// get looks a file up.
+func (s *Store) get(name string) (*fileState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.files[name]
+	if !ok {
+		return nil, &stubs.RemoteError{Code: CodeNotFound, Msg: fmt.Sprintf("filesys: no such file %q", name)}
+	}
+	return st, nil
+}
+
+// create makes a new empty file.
+func (s *Store) create(name string) (*fileState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[name]; ok {
+		return nil, &stubs.RemoteError{Code: CodeExists, Msg: fmt.Sprintf("filesys: %q already exists", name)}
+	}
+	st := &fileState{name: name}
+	s.files[name] = st
+	return st, nil
+}
+
+// remove deletes a file.
+func (s *Store) remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[name]; !ok {
+		return &stubs.RemoteError{Code: CodeNotFound, Msg: fmt.Sprintf("filesys: no such file %q", name)}
+	}
+	delete(s.files, name)
+	return nil
+}
+
+// list returns the sorted file names.
+func (s *Store) list() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.files))
+	for n := range s.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// fileImpl implements the generated FileServer over one file's state.
+type fileImpl struct {
+	st *fileState
+}
+
+// Size implements FileServer.
+func (f fileImpl) Size() (int64, error) { return f.st.size(), nil }
+
+// Read implements FileServer.
+func (f fileImpl) Read(offset int64, count int32) ([]byte, error) {
+	return f.st.read(offset, count), nil
+}
+
+// Write implements FileServer.
+func (f fileImpl) Write(offset int64, data []byte) (int32, error) {
+	return f.st.write(offset, data), nil
+}
+
+// Version implements FileServer.
+func (f fileImpl) Version() (uint32, error) { return f.st.ver(), nil }
+
+// Name implements FileServer.
+func (f fileImpl) Name() (string, error) { return f.st.name, nil }
+
+// Stat implements FileServer.
+func (f fileImpl) Stat() (FileInfo, error) {
+	f.st.mu.Lock()
+	defer f.st.mu.Unlock()
+	return FileInfo{Name: f.st.name, Size: int64(len(f.st.data)), Version: f.st.version}, nil
+}
+
+// cacheableImpl adds the cacheable_file operations.
+type cacheableImpl struct {
+	fileImpl
+}
+
+// Flush implements CacheableFileServer. The store is write-through, so
+// flush has nothing to push; it exists so clients can force their local
+// cache manager to drop entries (it is in the invalidating op set).
+func (cacheableImpl) Flush() error { return nil }
+
+// replicatedImpl adds the replicated_file operations.
+type replicatedImpl struct {
+	fileImpl
+	size func() int
+}
+
+// Replicas implements ReplicatedFileServer.
+func (r replicatedImpl) Replicas() (int32, error) { return int32(r.size()), nil }

@@ -1,0 +1,201 @@
+package idl
+
+// The abstract syntax tree produced by the parser and decorated by the
+// semantic checker.
+
+// File is one compiled IDL source file.
+type File struct {
+	Name    string
+	Modules []*Module
+}
+
+// Module is a named scope of definitions.
+type Module struct {
+	Name       string
+	Typedefs   []*Typedef
+	Structs    []*Struct
+	Enums      []*Enum
+	Interfaces []*Interface
+	Line, Col  int
+}
+
+// Struct is a value aggregate: passed by value, marshalled field by
+// field. Fields must be data types (no object references — objects have
+// their own subcontract-mediated marshalling).
+type Struct struct {
+	Name      string
+	Fields    []*Field
+	Line, Col int
+}
+
+// Field is one struct member.
+type Field struct {
+	Type      *Type
+	Name      string
+	Line, Col int
+}
+
+// Enum is a named enumeration, marshalled as unsigned long.
+type Enum struct {
+	Name      string
+	Members   []string
+	Line, Col int
+}
+
+// Typedef aliases a type within a module.
+type Typedef struct {
+	Name      string
+	Type      *Type
+	Line, Col int
+}
+
+// Interface is an object type with operations and (multiple) inheritance.
+type Interface struct {
+	Name      string
+	Module    *Module
+	Bases     []string // as written
+	Ops       []*Op
+	Line, Col int
+
+	// Filled by the checker.
+	ResolvedBases []*Interface
+	// Flat is the full method table: inherited operations first (in
+	// linearized base order), own operations last. Opnums are indices
+	// into this slice.
+	Flat []*Op
+}
+
+// QName is the interface's qualified name, which doubles as its runtime
+// TypeID ("module.interface").
+func (i *Interface) QName() string { return i.Module.Name + "." + i.Name }
+
+// ParamMode is a parameter-passing mode.
+type ParamMode int
+
+// Parameter modes. ModeCopy is the paper's copy mode (§5.1.5): a copy of
+// the argument object is transmitted while the caller retains the
+// original.
+const (
+	ModeIn ParamMode = iota
+	ModeOut
+	ModeInOut
+	ModeCopy
+)
+
+func (m ParamMode) String() string {
+	switch m {
+	case ModeIn:
+		return "in"
+	case ModeOut:
+		return "out"
+	case ModeInOut:
+		return "inout"
+	case ModeCopy:
+		return "copy"
+	}
+	return "?"
+}
+
+// Op is one operation. Attributes desugar into operations named
+// "_get_<attr>" / "_set_<attr>" (the CORBA convention), with GoMethod
+// carrying the accessor name the generator should emit.
+type Op struct {
+	Name      string
+	Ret       *Type // nil for void
+	Params    []*Param
+	Oneway    bool
+	Owner     *Interface // interface that declared it
+	GoMethod  string     // optional generated-name override (attributes)
+	Line, Col int
+}
+
+// Param is one operation parameter.
+type Param struct {
+	Mode      ParamMode
+	Type      *Type
+	Name      string
+	Line, Col int
+}
+
+// TypeKind classifies types.
+type TypeKind int
+
+// Type kinds.
+const (
+	KindBool TypeKind = iota
+	KindOctet
+	KindShort
+	KindLong
+	KindLongLong
+	KindUShort
+	KindULong
+	KindULongLong
+	KindFloat
+	KindDouble
+	KindString
+	KindSequence
+	KindObject // the Object base type: any object reference
+	KindNamed  // typedef or interface reference, resolved by the checker
+)
+
+// Type is a type expression.
+type Type struct {
+	Kind      TypeKind
+	Elem      *Type  // sequence element
+	Name      string // named type, as written
+	Line, Col int
+
+	// Filled by the checker for KindNamed.
+	Iface  *Interface // non-nil if the name resolves to an interface
+	Alias  *Type      // non-nil if the name resolves to a typedef
+	Struct *Struct    // non-nil if the name resolves to a struct
+	Enum   *Enum      // non-nil if the name resolves to an enum
+}
+
+// resolve follows typedef aliases to the underlying type.
+func (t *Type) resolve() *Type {
+	for t.Kind == KindNamed && t.Alias != nil {
+		t = t.Alias
+	}
+	return t
+}
+
+// IsObject reports whether the (resolved) type is an object reference.
+func (t *Type) IsObject() bool {
+	r := t.resolve()
+	return r.Kind == KindObject || (r.Kind == KindNamed && r.Iface != nil)
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case KindBool:
+		return "boolean"
+	case KindOctet:
+		return "octet"
+	case KindShort:
+		return "short"
+	case KindLong:
+		return "long"
+	case KindLongLong:
+		return "long long"
+	case KindUShort:
+		return "unsigned short"
+	case KindULong:
+		return "unsigned long"
+	case KindULongLong:
+		return "unsigned long long"
+	case KindFloat:
+		return "float"
+	case KindDouble:
+		return "double"
+	case KindString:
+		return "string"
+	case KindSequence:
+		return "sequence<" + t.Elem.String() + ">"
+	case KindObject:
+		return "Object"
+	case KindNamed:
+		return t.Name
+	}
+	return "?"
+}

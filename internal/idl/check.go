@@ -1,0 +1,244 @@
+package idl
+
+import "fmt"
+
+// check resolves names, verifies inheritance, and flattens method tables.
+//
+// Opnum assignment must be stable under subtyping so that a subtype's
+// method table extends its bases': the flattened table lists inherited
+// operations first (in depth-first, left-to-right base order, visiting
+// each ancestor once) and the interface's own operations last. A client
+// holding a subtype object through a base-typed stub then uses the same
+// opnums the base stubs would.
+func check(f *File) error {
+	// Scopes: each module has one namespace of typedefs, structs, enums
+	// and interfaces.
+	type scope struct {
+		typedefs map[string]*Typedef
+		structs  map[string]*Struct
+		enums    map[string]*Enum
+		ifaces   map[string]*Interface
+	}
+	scopes := make(map[*Module]*scope)
+	for _, m := range f.Modules {
+		sc := &scope{
+			typedefs: make(map[string]*Typedef),
+			structs:  make(map[string]*Struct),
+			enums:    make(map[string]*Enum),
+			ifaces:   make(map[string]*Interface),
+		}
+		scopes[m] = sc
+		taken := make(map[string]string) // name → kind, for collision errors
+		claim := func(name, kind string, line, col int) error {
+			if prev, dup := taken[name]; dup {
+				return &Error{File: f.Name, Line: line, Col: col,
+					Msg: fmt.Sprintf("duplicate name %q (already a %s)", name, prev)}
+			}
+			taken[name] = kind
+			return nil
+		}
+		for _, td := range m.Typedefs {
+			if err := claim(td.Name, "typedef", td.Line, td.Col); err != nil {
+				return err
+			}
+			sc.typedefs[td.Name] = td
+		}
+		for _, st := range m.Structs {
+			if err := claim(st.Name, "struct", st.Line, st.Col); err != nil {
+				return err
+			}
+			sc.structs[st.Name] = st
+		}
+		for _, en := range m.Enums {
+			if err := claim(en.Name, "enum", en.Line, en.Col); err != nil {
+				return err
+			}
+			sc.enums[en.Name] = en
+		}
+		for _, i := range m.Interfaces {
+			if err := claim(i.Name, "interface", i.Line, i.Col); err != nil {
+				return err
+			}
+			sc.ifaces[i.Name] = i
+		}
+	}
+
+	// resolveType decorates a type expression in the context of module m.
+	var resolveType func(m *Module, t *Type) error
+	resolveType = func(m *Module, t *Type) error {
+		switch t.Kind {
+		case KindSequence:
+			return resolveType(m, t.Elem)
+		case KindNamed:
+			sc := scopes[m]
+			if td, ok := sc.typedefs[t.Name]; ok {
+				t.Alias = td.Type
+				return nil
+			}
+			if st, ok := sc.structs[t.Name]; ok {
+				t.Struct = st
+				return nil
+			}
+			if en, ok := sc.enums[t.Name]; ok {
+				t.Enum = en
+				return nil
+			}
+			if i, ok := sc.ifaces[t.Name]; ok {
+				t.Iface = i
+				return nil
+			}
+			return &Error{File: f.Name, Line: t.Line, Col: t.Col, Msg: fmt.Sprintf("undefined type %q", t.Name)}
+		}
+		return nil
+	}
+
+	for _, m := range f.Modules {
+		for _, td := range m.Typedefs {
+			if err := resolveType(m, td.Type); err != nil {
+				return err
+			}
+		}
+		// Struct fields: resolved, non-object, non-recursive.
+		structState := make(map[*Struct]int)
+		var checkStruct func(st *Struct) error
+		var checkField func(st *Struct, fd *Field, t *Type) error
+		checkField = func(st *Struct, fd *Field, t *Type) error {
+			r := t.resolve()
+			if r.IsObject() || r.Kind == KindObject {
+				return &Error{File: f.Name, Line: fd.Line, Col: fd.Col,
+					Msg: fmt.Sprintf("struct %q field %q: object references are not allowed in structs", st.Name, fd.Name)}
+			}
+			if r.Kind == KindSequence {
+				return checkField(st, fd, r.Elem)
+			}
+			if r.Kind == KindNamed && r.Struct != nil {
+				return checkStruct(r.Struct)
+			}
+			return nil
+		}
+		checkStruct = func(st *Struct) error {
+			switch structState[st] {
+			case 1:
+				return &Error{File: f.Name, Line: st.Line, Col: st.Col, Msg: fmt.Sprintf("recursive struct %q", st.Name)}
+			case 2:
+				return nil
+			}
+			structState[st] = 1
+			seen := make(map[string]bool)
+			for _, fd := range st.Fields {
+				if seen[fd.Name] {
+					return &Error{File: f.Name, Line: fd.Line, Col: fd.Col, Msg: fmt.Sprintf("duplicate field %q in struct %q", fd.Name, st.Name)}
+				}
+				seen[fd.Name] = true
+				if err := resolveType(m, fd.Type); err != nil {
+					return err
+				}
+				if err := checkField(st, fd, fd.Type); err != nil {
+					return err
+				}
+			}
+			structState[st] = 2
+			return nil
+		}
+		for _, st := range m.Structs {
+			if err := checkStruct(st); err != nil {
+				return err
+			}
+		}
+		for _, en := range m.Enums {
+			seen := make(map[string]bool)
+			for _, member := range en.Members {
+				if seen[member] {
+					return &Error{File: f.Name, Line: en.Line, Col: en.Col, Msg: fmt.Sprintf("duplicate member %q in enum %q", member, en.Name)}
+				}
+				seen[member] = true
+			}
+		}
+		sc := scopes[m]
+		for _, i := range m.Interfaces {
+			for _, b := range i.Bases {
+				base, ok := sc.ifaces[b]
+				if !ok {
+					return &Error{File: f.Name, Line: i.Line, Col: i.Col, Msg: fmt.Sprintf("interface %q inherits from undefined %q", i.Name, b)}
+				}
+				if base == i {
+					return &Error{File: f.Name, Line: i.Line, Col: i.Col, Msg: fmt.Sprintf("interface %q inherits from itself", i.Name)}
+				}
+				i.ResolvedBases = append(i.ResolvedBases, base)
+			}
+			for _, op := range i.Ops {
+				if op.Ret != nil {
+					if err := resolveType(m, op.Ret); err != nil {
+						return err
+					}
+				}
+				seen := make(map[string]bool)
+				for _, p := range op.Params {
+					if err := resolveType(m, p.Type); err != nil {
+						return err
+					}
+					if seen[p.Name] {
+						return &Error{File: f.Name, Line: p.Line, Col: p.Col, Msg: fmt.Sprintf("duplicate parameter %q in %s.%s", p.Name, i.Name, op.Name)}
+					}
+					seen[p.Name] = true
+					if p.Mode == ModeCopy && !p.Type.IsObject() {
+						return &Error{File: f.Name, Line: p.Line, Col: p.Col, Msg: fmt.Sprintf("copy mode requires an object type, %s is not an interface", p.Type)}
+					}
+				}
+			}
+		}
+
+		// Flatten method tables. Interfaces may be declared in any order;
+		// recursion with cycle detection handles forward references.
+		state := make(map[*Interface]int) // 0 unvisited, 1 in progress, 2 done
+		var flatten func(i *Interface) error
+		flatten = func(i *Interface) error {
+			switch state[i] {
+			case 1:
+				return &Error{File: f.Name, Line: i.Line, Col: i.Col, Msg: fmt.Sprintf("inheritance cycle through %q", i.Name)}
+			case 2:
+				return nil
+			}
+			state[i] = 1
+			var flat []*Op
+			have := make(map[string]*Op)
+			add := func(op *Op) error {
+				if prev, ok := have[op.Name]; ok {
+					if prev == op {
+						return nil // same op via a diamond
+					}
+					return &Error{File: f.Name, Line: i.Line, Col: i.Col,
+						Msg: fmt.Sprintf("interface %q sees two operations named %q (from %q and %q)",
+							i.Name, op.Name, prev.Owner.Name, op.Owner.Name)}
+				}
+				have[op.Name] = op
+				flat = append(flat, op)
+				return nil
+			}
+			for _, b := range i.ResolvedBases {
+				if err := flatten(b); err != nil {
+					return err
+				}
+				for _, op := range b.Flat {
+					if err := add(op); err != nil {
+						return err
+					}
+				}
+			}
+			for _, op := range i.Ops {
+				if err := add(op); err != nil {
+					return err
+				}
+			}
+			i.Flat = flat
+			state[i] = 2
+			return nil
+		}
+		for _, i := range m.Interfaces {
+			if err := flatten(i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

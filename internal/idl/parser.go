@@ -1,0 +1,467 @@
+package idl
+
+import "fmt"
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	file string
+	toks []Token
+	pos  int
+}
+
+// Parse compiles IDL source into a checked AST.
+func Parse(file, src string) (*File, error) {
+	toks, err := lexAll(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{file: file, toks: toks}
+	f := &File{Name: file}
+	for p.peek().Kind != TokEOF {
+		m, err := p.parseModule()
+		if err != nil {
+			return nil, err
+		}
+		f.Modules = append(f.Modules, m)
+	}
+	if err := check(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t Token, format string, args ...any) *Error {
+	return &Error{File: p.file, Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(kind TokKind, what string) (Token, error) {
+	t := p.next()
+	if t.Kind != kind {
+		return t, p.errf(t, "expected %s, found %s", what, t)
+	}
+	return t, nil
+}
+
+// expectKeyword consumes an identifier with the given (case-sensitive)
+// text.
+func (p *parser) expectKeyword(word string) (Token, error) {
+	t := p.next()
+	if t.Kind != TokIdent || t.Text != word {
+		return t, p.errf(t, "expected %q, found %s", word, t)
+	}
+	return t, nil
+}
+
+// peekKeyword reports whether the next token is the given identifier.
+func (p *parser) peekKeyword(word string) bool {
+	t := p.peek()
+	return t.Kind == TokIdent && t.Text == word
+}
+
+// ident consumes a non-keyword identifier.
+func (p *parser) ident(what string) (Token, error) {
+	t, err := p.expect(TokIdent, what)
+	if err != nil {
+		return t, err
+	}
+	if keyword(t.Text) {
+		return t, p.errf(t, "%q is a reserved word (expected %s)", t.Text, what)
+	}
+	return t, nil
+}
+
+// parseModule parses: module NAME { definitions } ;
+func (p *parser) parseModule() (*Module, error) {
+	kw, err := p.expectKeyword("module")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.ident("module name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	m := &Module{Name: name.Text, Line: kw.Line, Col: kw.Col}
+	for {
+		switch {
+		case p.peek().Kind == TokRBrace:
+			p.next()
+			if _, err := p.expect(TokSemi, "';' after module"); err != nil {
+				return nil, err
+			}
+			return m, nil
+		case p.peekKeyword("typedef"):
+			td, err := p.parseTypedef()
+			if err != nil {
+				return nil, err
+			}
+			m.Typedefs = append(m.Typedefs, td)
+		case p.peekKeyword("struct"):
+			st, err := p.parseStruct()
+			if err != nil {
+				return nil, err
+			}
+			m.Structs = append(m.Structs, st)
+		case p.peekKeyword("enum"):
+			en, err := p.parseEnum()
+			if err != nil {
+				return nil, err
+			}
+			m.Enums = append(m.Enums, en)
+		case p.peekKeyword("interface"):
+			i, err := p.parseInterface(m)
+			if err != nil {
+				return nil, err
+			}
+			m.Interfaces = append(m.Interfaces, i)
+		default:
+			return nil, p.errf(p.peek(), "expected typedef, interface or '}', found %s", p.peek())
+		}
+	}
+}
+
+// parseTypedef parses: typedef TYPE NAME ;
+func (p *parser) parseTypedef() (*Typedef, error) {
+	kw, _ := p.expectKeyword("typedef")
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.ident("typedef name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &Typedef{Name: name.Text, Type: typ, Line: kw.Line, Col: kw.Col}, nil
+}
+
+// parseStruct parses: struct NAME { TYPE FIELD ; ... } ;
+func (p *parser) parseStruct() (*Struct, error) {
+	kw, _ := p.expectKeyword("struct")
+	name, err := p.ident("struct name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	st := &Struct{Name: name.Text, Line: kw.Line, Col: kw.Col}
+	for p.peek().Kind != TokRBrace {
+		ft := p.peek()
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fname, err := p.ident("field name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		st.Fields = append(st.Fields, &Field{Type: typ, Name: fname.Text, Line: ft.Line, Col: ft.Col})
+	}
+	p.next() // '}'
+	if _, err := p.expect(TokSemi, "';' after struct"); err != nil {
+		return nil, err
+	}
+	if len(st.Fields) == 0 {
+		return nil, p.errf(kw, "struct %q has no fields", st.Name)
+	}
+	return st, nil
+}
+
+// parseEnum parses: enum NAME { A, B, ... } ;
+func (p *parser) parseEnum() (*Enum, error) {
+	kw, _ := p.expectKeyword("enum")
+	name, err := p.ident("enum name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	en := &Enum{Name: name.Text, Line: kw.Line, Col: kw.Col}
+	for {
+		m, err := p.ident("enum member")
+		if err != nil {
+			return nil, err
+		}
+		en.Members = append(en.Members, m.Text)
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(TokRBrace, "'}'"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi, "';' after enum"); err != nil {
+		return nil, err
+	}
+	return en, nil
+}
+
+// parseInterface parses: interface NAME [: base, ...] { ops } ;
+func (p *parser) parseInterface(m *Module) (*Interface, error) {
+	kw, _ := p.expectKeyword("interface")
+	name, err := p.ident("interface name")
+	if err != nil {
+		return nil, err
+	}
+	i := &Interface{Name: name.Text, Module: m, Line: kw.Line, Col: kw.Col}
+	if p.peek().Kind == TokColon {
+		p.next()
+		for {
+			b, err := p.ident("base interface name")
+			if err != nil {
+				return nil, err
+			}
+			i.Bases = append(i.Bases, b.Text)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(TokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	for p.peek().Kind != TokRBrace {
+		if p.peekKeyword("readonly") || p.peekKeyword("attribute") {
+			ops, err := p.parseAttribute(i)
+			if err != nil {
+				return nil, err
+			}
+			i.Ops = append(i.Ops, ops...)
+			continue
+		}
+		op, err := p.parseOp(i)
+		if err != nil {
+			return nil, err
+		}
+		i.Ops = append(i.Ops, op)
+	}
+	p.next() // '}'
+	if _, err := p.expect(TokSemi, "';' after interface"); err != nil {
+		return nil, err
+	}
+	return i, nil
+}
+
+// parseAttribute parses: [readonly] attribute TYPE NAME ; and desugars it
+// into a getter operation (and a setter unless readonly), following the
+// CORBA _get_/_set_ convention.
+func (p *parser) parseAttribute(owner *Interface) ([]*Op, error) {
+	start := p.peek()
+	readonly := false
+	if p.peekKeyword("readonly") {
+		p.next()
+		readonly = true
+	}
+	if _, err := p.expectKeyword("attribute"); err != nil {
+		return nil, err
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.ident("attribute name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	getter := &Op{
+		Name:     "_get_" + name.Text,
+		Ret:      typ,
+		Owner:    owner,
+		GoMethod: GoName(name.Text),
+		Line:     start.Line, Col: start.Col,
+	}
+	if readonly {
+		return []*Op{getter}, nil
+	}
+	setter := &Op{
+		Name:     "_set_" + name.Text,
+		Params:   []*Param{{Mode: ModeIn, Type: typ, Name: name.Text, Line: start.Line, Col: start.Col}},
+		Owner:    owner,
+		GoMethod: "Set" + GoName(name.Text),
+		Line:     start.Line, Col: start.Col,
+	}
+	return []*Op{getter, setter}, nil
+}
+
+// parseOp parses: [oneway] (void|TYPE) NAME ( params ) ;
+func (p *parser) parseOp(owner *Interface) (*Op, error) {
+	op := &Op{Owner: owner}
+	if p.peekKeyword("oneway") {
+		p.next()
+		op.Oneway = true
+	}
+	start := p.peek()
+	op.Line, op.Col = start.Line, start.Col
+	if p.peekKeyword("void") {
+		p.next()
+	} else {
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		op.Ret = typ
+	}
+	name, err := p.ident("operation name")
+	if err != nil {
+		return nil, err
+	}
+	op.Name = name.Text
+	if _, err := p.expect(TokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != TokRParen {
+		for {
+			param, err := p.parseParam()
+			if err != nil {
+				return nil, err
+			}
+			op.Params = append(op.Params, param)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(TokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	if op.Oneway && (op.Ret != nil || hasOut(op)) {
+		return nil, p.errf(start, "oneway operation %q cannot return values", op.Name)
+	}
+	return op, nil
+}
+
+func hasOut(op *Op) bool {
+	for _, p := range op.Params {
+		if p.Mode == ModeOut || p.Mode == ModeInOut {
+			return true
+		}
+	}
+	return false
+}
+
+// parseParam parses: (in|out|inout|copy) TYPE NAME
+func (p *parser) parseParam() (*Param, error) {
+	t := p.peek()
+	var mode ParamMode
+	switch {
+	case p.peekKeyword("in"):
+		mode = ModeIn
+	case p.peekKeyword("out"):
+		mode = ModeOut
+	case p.peekKeyword("inout"):
+		mode = ModeInOut
+	case p.peekKeyword("copy"):
+		mode = ModeCopy
+	default:
+		return nil, p.errf(t, "expected parameter mode (in/out/inout/copy), found %s", t)
+	}
+	p.next()
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.ident("parameter name")
+	if err != nil {
+		return nil, err
+	}
+	return &Param{Mode: mode, Type: typ, Name: name.Text, Line: t.Line, Col: t.Col}, nil
+}
+
+// parseType parses a type expression.
+func (p *parser) parseType() (*Type, error) {
+	t := p.peek()
+	mk := func(k TypeKind) *Type {
+		p.next()
+		return &Type{Kind: k, Line: t.Line, Col: t.Col}
+	}
+	if t.Kind != TokIdent {
+		return nil, p.errf(t, "expected type, found %s", t)
+	}
+	switch t.Text {
+	case "boolean":
+		return mk(KindBool), nil
+	case "octet":
+		return mk(KindOctet), nil
+	case "short":
+		return mk(KindShort), nil
+	case "float":
+		return mk(KindFloat), nil
+	case "double":
+		return mk(KindDouble), nil
+	case "string":
+		return mk(KindString), nil
+	case "long":
+		p.next()
+		if p.peekKeyword("long") {
+			p.next()
+			return &Type{Kind: KindLongLong, Line: t.Line, Col: t.Col}, nil
+		}
+		return &Type{Kind: KindLong, Line: t.Line, Col: t.Col}, nil
+	case "unsigned":
+		p.next()
+		switch {
+		case p.peekKeyword("short"):
+			p.next()
+			return &Type{Kind: KindUShort, Line: t.Line, Col: t.Col}, nil
+		case p.peekKeyword("long"):
+			p.next()
+			if p.peekKeyword("long") {
+				p.next()
+				return &Type{Kind: KindULongLong, Line: t.Line, Col: t.Col}, nil
+			}
+			return &Type{Kind: KindULong, Line: t.Line, Col: t.Col}, nil
+		}
+		return nil, p.errf(p.peek(), "expected short or long after unsigned")
+	case "Object":
+		p.next()
+		return &Type{Kind: KindObject, Line: t.Line, Col: t.Col}, nil
+	case "sequence":
+		p.next()
+		if _, err := p.expect(TokLAngle, "'<'"); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRAngle, "'>'"); err != nil {
+			return nil, err
+		}
+		return &Type{Kind: KindSequence, Elem: elem, Line: t.Line, Col: t.Col}, nil
+	case "void":
+		return nil, p.errf(t, "void is only valid as an operation return type")
+	}
+	if keyword(t.Text) {
+		return nil, p.errf(t, "unexpected keyword %q in type", t.Text)
+	}
+	p.next()
+	return &Type{Kind: KindNamed, Name: t.Text, Line: t.Line, Col: t.Col}, nil
+}

@@ -1,0 +1,232 @@
+// Package idl implements the interface definition language of §3.1: an
+// object-oriented IDL with multiple inheritance, purely concerned with
+// interface properties. The unifying principle of Spring is that all key
+// interfaces are defined in IDL; language-specific stubs are generated
+// from them (cmd/idlgen emits Go stubs over internal/stubs).
+//
+// The subset implemented covers what the paper's systems need:
+//
+//	module m { ... };
+//	typedef sequence<octet> bytes;
+//	interface file : base1, base2 {
+//	    long long read(in long long offset, in long size, out bytes data);
+//	    void give(copy file f);      // the copy parameter mode of §5.1.5
+//	};
+//
+// Types: void, boolean, octet, short, long, long long, unsigned variants,
+// float, double, string, sequence<T>, typedefs and interface references.
+package idl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokLBrace // {
+	TokRBrace // }
+	TokLParen // (
+	TokRParen // )
+	TokLAngle // <
+	TokRAngle // >
+	TokColon  // :
+	TokSemi   // ;
+	TokComma  // ,
+	TokEquals // =
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokIdent, TokNumber:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// Error is a positioned compile error.
+type Error struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+}
+
+// lexer turns IDL source into tokens.
+type lexer struct {
+	file string
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{file: file, src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errf(line, col int, format string, args ...any) *Error {
+	return &Error{File: l.file, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSpace consumes whitespace and both comment styles.
+func (l *lexer) skipSpace() error {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return nil
+		}
+		switch {
+		case unicode.IsSpace(rune(c)):
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			line, col := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.src[l.pos] == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errf(line, col, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	line, col := l.line, l.col
+	c, ok := l.peekByte()
+	if !ok {
+		return Token{Kind: TokEOF, Line: line, Col: col}, nil
+	}
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for {
+			c, ok := l.peekByte()
+			if !ok || !isIdentPart(c) {
+				break
+			}
+			l.advance()
+		}
+		return Token{Kind: TokIdent, Text: l.src[start:l.pos], Line: line, Col: col}, nil
+	case unicode.IsDigit(rune(c)):
+		start := l.pos
+		for {
+			c, ok := l.peekByte()
+			if !ok || !unicode.IsDigit(rune(c)) {
+				break
+			}
+			l.advance()
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Line: line, Col: col}, nil
+	}
+	l.advance()
+	kind, ok := map[byte]TokKind{
+		'{': TokLBrace, '}': TokRBrace, '(': TokLParen, ')': TokRParen,
+		'<': TokLAngle, '>': TokRAngle, ':': TokColon, ';': TokSemi,
+		',': TokComma, '=': TokEquals,
+	}[c]
+	if !ok {
+		return Token{}, l.errf(line, col, "unexpected character %q", string(c))
+	}
+	return Token{Kind: kind, Text: string(c), Line: line, Col: col}, nil
+}
+
+// lexAll tokenizes the whole source (including the trailing EOF token).
+func lexAll(file, src string) ([]Token, error) {
+	l := newLexer(file, src)
+	var out []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+// keyword reports whether an identifier is a reserved word.
+func keyword(s string) bool {
+	switch strings.ToLower(s) {
+	case "module", "interface", "typedef", "sequence", "void", "boolean",
+		"octet", "short", "long", "unsigned", "float", "double", "string",
+		"in", "out", "inout", "copy", "oneway", "attribute", "readonly",
+		"Object", "struct", "enum":
+		return true
+	}
+	return false
+}

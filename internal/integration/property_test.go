@@ -1,0 +1,202 @@
+package integration
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sctest"
+	"repro/internal/subcontracts/singleton"
+)
+
+// TestObjectModelMoveSemantics is experiment E11: the §3.2 object model,
+// checked over random operation sequences. An object can only exist in
+// one place at a time — transmitting it consumes it — while copying
+// first yields two distinct objects pointing to the same underlying
+// state. Whatever sequence of copy/transfer/marshal_copy/consume/invoke
+// is applied:
+//
+//   - live objects always invoke successfully,
+//   - consumed objects always fail with ErrConsumed,
+//   - the server's unreferenced notification fires exactly when the last
+//     identifier dies, never earlier.
+func TestObjectModelMoveSemantics(t *testing.T) {
+	f := func(script []uint8) bool {
+		k := kernel.New("prop")
+		srv, err := sctest.NewEnv(k, "server", singleton.Register)
+		if err != nil {
+			return false
+		}
+		cli, err := sctest.NewEnv(k, "client", singleton.Register)
+		if err != nil {
+			return false
+		}
+		unref := make(chan struct{})
+		ctr := &sctest.Counter{}
+		root, _ := singleton.Export(srv, sctest.CounterMT, ctr.Skeleton(), func() { close(unref) })
+
+		// live tracks objects that must work; dead tracks consumed ones.
+		live := []*core.Object{root}
+		var dead []*core.Object
+
+		for _, b := range script {
+			if len(live) == 0 {
+				break
+			}
+			i := int(b>>2) % len(live)
+			obj := live[i]
+			switch b % 4 {
+			case 0: // copy
+				cp, err := obj.Copy()
+				if err != nil {
+					return false
+				}
+				live = append(live, cp)
+			case 1: // transfer (move): the source dies, the clone lives
+				moved, err := sctest.Transfer(obj, cli, sctest.CounterMT)
+				if err != nil {
+					return false
+				}
+				live[i] = moved
+				dead = append(dead, obj)
+			case 2: // marshal_copy: the source survives, a clone appears
+				buf := buffer.New(64)
+				if err := obj.MarshalCopy(buf); err != nil {
+					return false
+				}
+				clone, err := core.Unmarshal(cli, sctest.CounterMT, buf)
+				if err != nil {
+					return false
+				}
+				live = append(live, clone)
+			case 3: // consume
+				if err := obj.Consume(); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+				dead = append(dead, obj)
+			}
+		}
+
+		// Live objects invoke; dead objects refuse.
+		for _, obj := range live {
+			if _, err := sctest.Get(obj); err != nil {
+				return false
+			}
+		}
+		for _, obj := range dead {
+			if _, err := sctest.Get(obj); !errors.Is(err, core.ErrConsumed) {
+				return false
+			}
+		}
+
+		// While identifiers remain, no unreferenced notification.
+		if len(live) > 0 {
+			select {
+			case <-unref:
+				return false
+			default:
+			}
+		}
+		// Consume the rest: the notification must arrive, exactly because
+		// the last identifier died.
+		for _, obj := range live {
+			if err := obj.Consume(); err != nil {
+				return false
+			}
+		}
+		select {
+		case <-unref:
+			return true
+		case <-time.After(2 * time.Second):
+			return false
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKernelRefcountInvariant drives random copy/delete/move/adopt
+// sequences against one door and checks the bookkeeping: the door stays
+// alive while any identifier or in-flight reference exists, and the
+// kernel's live-door count returns to its baseline afterwards.
+func TestKernelRefcountInvariant(t *testing.T) {
+	f := func(script []uint8) bool {
+		k := kernel.New("prop")
+		a := k.NewDomain("a")
+		b := k.NewDomain("b")
+		base := k.LiveDoors()
+		h, door := a.CreateDoor(func(req *buffer.Buffer) (*buffer.Buffer, error) {
+			return buffer.New(0), nil
+		}, nil)
+		_ = door
+
+		type holder struct {
+			dom *kernel.Domain
+			h   kernel.Handle
+		}
+		held := []holder{{a, h}}
+		for _, op := range script {
+			if len(held) == 0 {
+				break
+			}
+			i := int(op>>2) % len(held)
+			cur := held[i]
+			switch op % 3 {
+			case 0: // copy
+				nh, err := cur.dom.CopyDoor(cur.h)
+				if err != nil {
+					return false
+				}
+				held = append(held, holder{cur.dom, nh})
+			case 1: // delete
+				if err := cur.dom.DeleteDoor(cur.h); err != nil {
+					return false
+				}
+				held = append(held[:i], held[i+1:]...)
+			case 2: // move to the other domain through a buffer
+				buf := buffer.New(16)
+				if err := cur.dom.MoveToBuffer(cur.h, buf); err != nil {
+					return false
+				}
+				dst := a
+				if cur.dom == a {
+					dst = b
+				}
+				nh, err := dst.AdoptFromBuffer(buf)
+				if err != nil {
+					return false
+				}
+				held[i] = holder{dst, nh}
+			}
+		}
+		// Any surviving identifier must still reach the door.
+		for _, cur := range held {
+			if _, err := cur.dom.Call(cur.h, buffer.New(0)); err != nil {
+				return false
+			}
+		}
+		for _, cur := range held {
+			if err := cur.dom.DeleteDoor(cur.h); err != nil {
+				return false
+			}
+		}
+		// The door object is reclaimed once the last identifier dies.
+		deadline := time.Now().Add(2 * time.Second)
+		for k.LiveDoors() != base {
+			if time.Now().After(deadline) {
+				return false
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/buffer"
+)
+
+func benchFixture(b *testing.B) (*Domain, Handle) {
+	b.Helper()
+	k := New("bench")
+	srv := k.NewDomain("server")
+	cli := k.NewDomain("client")
+	h, _ := srv.CreateDoor(func(req *buffer.Buffer) (*buffer.Buffer, error) {
+		return buffer.New(0), nil
+	}, nil)
+	moved := buffer.New(8)
+	if err := srv.MoveToBuffer(h, moved); err != nil {
+		b.Fatal(err)
+	}
+	ch, err := cli.AdoptFromBuffer(moved)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cli, ch
+}
+
+func BenchmarkDoorCall(b *testing.B) {
+	cli, ch := benchFixture(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Call(ch, buffer.New(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCopyDeleteDoor(b *testing.B) {
+	cli, ch := benchFixture(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h2, err := cli.CopyDoor(ch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := cli.DeleteDoor(h2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMoveAdopt(b *testing.B) {
+	cli, ch := benchFixture(b)
+	buf := buffer.New(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := cli.MoveToBuffer(ch, buf); err != nil {
+			b.Fatal(err)
+		}
+		var err error
+		ch, err = cli.AdoptFromBuffer(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,401 @@
+// Package kernel emulates the Spring kernel's door IPC mechanism.
+//
+// A door is a communication endpoint, analogous to a Mach port, to which
+// threads may execute cross-address-space calls. A domain (an address space
+// plus a collection of threads) that creates a door receives a door
+// identifier, which it can pass to other domains so they can issue calls to
+// the associated door. Door identifiers function as software capabilities:
+// only the legitimate holder of a door identifier may issue a call on its
+// door. The kernel manages all operations on doors and door identifiers —
+// construction, destruction, copying, and transmission — and notifies a
+// door's target when the last outstanding identifier is deleted.
+//
+// The paper ran on real address spaces separated by the MMU; here domains
+// are logical address spaces inside one process. Everything subcontract
+// depends on — unforgeable handles, kernel-mediated transfer, refcounted
+// copy/delete, revocation, unreferenced notification — is implemented with
+// the same observable semantics. The threading model is also the doors
+// model: a door call runs the server procedure on the calling thread
+// (goroutine), the "thread shuttling" that makes Spring door IPC fast;
+// servers needing their own scheduling hand calls to an executor (see the
+// priority subcontract).
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/buffer"
+)
+
+// Errors returned by door operations.
+var (
+	// ErrBadHandle is returned when a door identifier is not present in the
+	// calling domain's handle table (forged, deleted, or moved away).
+	ErrBadHandle = errors.New("kernel: invalid door identifier")
+	// ErrRevoked is returned when calling a door whose server has revoked it.
+	ErrRevoked = errors.New("kernel: door revoked")
+	// ErrNotADoor is returned when a buffer door slot holds something other
+	// than a kernel door reference (for example an unresolved network form).
+	ErrNotADoor = errors.New("kernel: buffer slot does not hold a kernel door reference")
+	// ErrCommFailure classifies communications failures below the door
+	// level (the network door servers wrap their transport errors with
+	// it). Subcontracts that retry on communications errors — replicon,
+	// reconnectable — test for this class alongside ErrRevoked and
+	// ErrBadHandle.
+	ErrCommFailure = errors.New("kernel: communication failure")
+)
+
+// Handle is a door identifier as seen by one domain: an unforgeable,
+// domain-local capability name (compare a Unix file descriptor). Handle 0 is
+// never valid.
+type Handle uint64
+
+// ServerProc is the target of a door: the server procedure run when a
+// thread calls the door. It receives the (kernel-transferred) argument
+// buffer and returns a reply buffer.
+type ServerProc func(req *buffer.Buffer) (*buffer.Buffer, error)
+
+// door is the kernel-side door object.
+type door struct {
+	mu      sync.Mutex
+	owner   *Kernel
+	target  ServerProc
+	unref   func()
+	refs    int
+	revoked bool
+	id      uint64 // kernel-wide unique, for diagnostics
+}
+
+// Ref is a kernel-level door reference: the form a door identifier takes
+// while in flight inside a communication buffer, detached from any domain's
+// handle table. A Ref owns one reference count on the door.
+type Ref struct {
+	d *door
+}
+
+// Valid reports whether r refers to a door.
+func (r Ref) Valid() bool { return r.d != nil }
+
+// SameDoor reports whether two refs designate the same underlying door.
+func (r Ref) SameDoor(o Ref) bool { return r.d != nil && r.d == o.d }
+
+// DoorID returns a kernel-wide unique identity for the underlying door
+// (0 for an invalid ref). The network door servers key their export tables
+// on it.
+func (r Ref) DoorID() uint64 {
+	if r.d == nil {
+		return 0
+	}
+	return r.d.id
+}
+
+// Dup creates an additional reference to the same door.
+func (r Ref) Dup() Ref {
+	if r.d == nil {
+		return Ref{}
+	}
+	r.d.mu.Lock()
+	r.d.refs++
+	r.d.mu.Unlock()
+	return Ref{d: r.d}
+}
+
+// Release drops the reference. When the last reference to a door is
+// released the kernel delivers the unreferenced notification to the door's
+// target (asynchronously, as the Spring kernel does).
+func (r Ref) Release() {
+	if r.d == nil {
+		return
+	}
+	r.d.mu.Lock()
+	r.d.refs--
+	last := r.d.refs == 0
+	unref := r.d.unref
+	r.d.mu.Unlock()
+	if last {
+		r.d.owner.liveDoors.Add(-1)
+		if unref != nil {
+			go unref()
+		}
+	}
+}
+
+// call invokes the door's target, failing if the door has been revoked.
+func (r Ref) call(req *buffer.Buffer) (*buffer.Buffer, error) {
+	if r.d == nil {
+		return nil, ErrBadHandle
+	}
+	r.d.mu.Lock()
+	revoked := r.d.revoked
+	target := r.d.target
+	r.d.mu.Unlock()
+	if revoked {
+		return nil, ErrRevoked
+	}
+	return target(req)
+}
+
+// Kernel is one machine's door kernel. Distinct Kernel values model
+// distinct machines; doors never cross kernels except through the network
+// door servers (package netd).
+type Kernel struct {
+	name      string
+	nextID    atomic.Uint64
+	liveDoors atomic.Int64
+	mu        sync.Mutex
+	domains   []*Domain
+}
+
+// LiveDoors reports the number of door objects currently alive on this
+// kernel (created and not yet unreferenced) — the resource the cluster
+// subcontract economizes (§8.1).
+func (k *Kernel) LiveDoors() int64 { return k.liveDoors.Load() }
+
+// New creates a kernel (a machine).
+func New(name string) *Kernel {
+	return &Kernel{name: name}
+}
+
+// Name returns the machine name given at creation.
+func (k *Kernel) Name() string { return k.name }
+
+// NewDomain creates a domain (address space) on this kernel.
+func (k *Kernel) NewDomain(name string) *Domain {
+	d := &Domain{
+		kernel:  k,
+		name:    name,
+		handles: make(map[Handle]Ref),
+		next:    1,
+	}
+	k.mu.Lock()
+	k.domains = append(k.domains, d)
+	k.mu.Unlock()
+	return d
+}
+
+// Domain is an address space plus a collection of threads. Each domain has
+// a private door-identifier table; handles are meaningless outside their
+// domain.
+type Domain struct {
+	kernel *Kernel
+	name   string
+
+	mu      sync.Mutex
+	handles map[Handle]Ref
+	next    Handle
+}
+
+// Name returns the domain name.
+func (d *Domain) Name() string { return d.name }
+
+// Kernel returns the kernel (machine) this domain runs on.
+func (d *Domain) Kernel() *Kernel { return d.kernel }
+
+// Door is the server-side view of a door, returned at creation. The
+// creating server uses it to revoke the door.
+type Door struct {
+	d *door
+}
+
+// Revoke revokes the door: all future calls on any identifier for it fail
+// with ErrRevoked. Revocation is how a server discards state without
+// waiting for all clients to consent.
+func (dr *Door) Revoke() {
+	dr.d.mu.Lock()
+	dr.d.revoked = true
+	dr.d.mu.Unlock()
+}
+
+// Revoked reports whether the door has been revoked.
+func (dr *Door) Revoked() bool {
+	dr.d.mu.Lock()
+	defer dr.d.mu.Unlock()
+	return dr.d.revoked
+}
+
+// Refs reports the current number of outstanding identifiers (handles plus
+// in-flight buffer references) for the door.
+func (dr *Door) Refs() int {
+	dr.d.mu.Lock()
+	defer dr.d.mu.Unlock()
+	return dr.d.refs
+}
+
+// CreateDoor creates a door targeted at proc and installs one identifier
+// for it in d's handle table. unref, if non-nil, is called (in its own
+// goroutine) when the last identifier for the door is deleted.
+func (d *Domain) CreateDoor(proc ServerProc, unref func()) (Handle, *Door) {
+	dd := &door{
+		owner:  d.kernel,
+		target: proc,
+		unref:  unref,
+		refs:   1,
+		id:     d.kernel.nextID.Add(1),
+	}
+	d.kernel.liveDoors.Add(1)
+	h := d.install(Ref{d: dd})
+	return h, &Door{d: dd}
+}
+
+// install assigns a fresh handle for ref. The ref's count was already
+// accounted for by the caller.
+func (d *Domain) install(r Ref) Handle {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h := d.next
+	d.next++
+	d.handles[h] = r
+	return h
+}
+
+// lookup returns the ref for h without transferring it.
+func (d *Domain) lookup(h Handle) (Ref, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.handles[h]
+	if !ok {
+		return Ref{}, fmt.Errorf("%w: %s handle %d", ErrBadHandle, d.name, h)
+	}
+	return r, nil
+}
+
+// Call issues a door call on identifier h, transferring req to the door's
+// target and returning the reply. The caller loses ownership of req's door
+// references that the server adopts; the server loses ownership of the
+// reply's door references to the caller.
+func (d *Domain) Call(h Handle, req *buffer.Buffer) (*buffer.Buffer, error) {
+	r, err := d.lookup(h)
+	if err != nil {
+		return nil, err
+	}
+	return r.call(req)
+}
+
+// CopyDoor creates a second identifier for the same door (a shallow copy of
+// the capability, as the simplex copy operation does).
+func (d *Domain) CopyDoor(h Handle) (Handle, error) {
+	r, err := d.lookup(h)
+	if err != nil {
+		return 0, err
+	}
+	return d.install(r.Dup()), nil
+}
+
+// DeleteDoor deletes identifier h, releasing its reference. When the last
+// identifier for a door is deleted the kernel notifies the door's target.
+func (d *Domain) DeleteDoor(h Handle) error {
+	d.mu.Lock()
+	r, ok := d.handles[h]
+	if ok {
+		delete(d.handles, h)
+	}
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s handle %d", ErrBadHandle, d.name, h)
+	}
+	r.Release()
+	return nil
+}
+
+// RevokeHandle revokes the door designated by h. Only meaningful for the
+// door's server, which also holds the *Door; provided for symmetry in
+// server-side subcontract code that retains only a handle.
+func (d *Domain) RevokeHandle(h Handle) error {
+	r, err := d.lookup(h)
+	if err != nil {
+		return err
+	}
+	r.d.mu.Lock()
+	r.d.revoked = true
+	r.d.mu.Unlock()
+	return nil
+}
+
+// MoveToBuffer transfers identifier h out of d's handle table into buf
+// (move semantics: the sending domain ceases to have the identifier, as
+// marshal requires).
+func (d *Domain) MoveToBuffer(h Handle, buf *buffer.Buffer) error {
+	d.mu.Lock()
+	r, ok := d.handles[h]
+	if ok {
+		delete(d.handles, h)
+	}
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s handle %d", ErrBadHandle, d.name, h)
+	}
+	buf.WriteDoor(r)
+	return nil
+}
+
+// CopyToBuffer writes an additional identifier for h's door into buf,
+// leaving h in place (used by marshal_copy and the copy parameter mode).
+func (d *Domain) CopyToBuffer(h Handle, buf *buffer.Buffer) error {
+	r, err := d.lookup(h)
+	if err != nil {
+		return err
+	}
+	buf.WriteDoor(r.Dup())
+	return nil
+}
+
+// AdoptFromBuffer consumes the next door reference from buf and installs it
+// in d's handle table, returning the new identifier.
+func (d *Domain) AdoptFromBuffer(buf *buffer.Buffer) (Handle, error) {
+	slot, err := buf.ReadDoor()
+	if err != nil {
+		return 0, err
+	}
+	r, ok := slot.(Ref)
+	if !ok {
+		return 0, fmt.Errorf("%w: %T", ErrNotADoor, slot)
+	}
+	return d.install(r), nil
+}
+
+// AdoptRef installs an in-flight reference directly (used by the network
+// door servers when fabricating proxy doors).
+func (d *Domain) AdoptRef(r Ref) Handle {
+	return d.install(r)
+}
+
+// RefOf returns a new reference to h's door, leaving h in place.
+func (d *Domain) RefOf(h Handle) (Ref, error) {
+	r, err := d.lookup(h)
+	if err != nil {
+		return Ref{}, err
+	}
+	return r.Dup(), nil
+}
+
+// HandleCount reports the number of identifiers in the domain's table
+// (resource accounting for the cluster-vs-simplex experiment).
+func (d *Domain) HandleCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.handles)
+}
+
+// SameDoor reports whether two identifiers designate the same door.
+func (d *Domain) SameDoor(a, b Handle) bool {
+	ra, err1 := d.lookup(a)
+	rb, err2 := d.lookup(b)
+	return err1 == nil && err2 == nil && ra.SameDoor(rb)
+}
+
+// ReleaseBufferDoors releases all door references still held by buf. Call
+// it when discarding a buffer that may carry unconsumed identifiers, so the
+// doors' reference counts are not leaked.
+func ReleaseBufferDoors(buf *buffer.Buffer) {
+	if buf == nil {
+		return
+	}
+	for _, slot := range buf.TakeDoors() {
+		if r, ok := slot.(Ref); ok {
+			r.Release()
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package naming
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/stubs"
+	"repro/internal/subcontracts/singleton"
+)
+
+// SCMap is the network service that maps subcontract identifiers to
+// library names for dynamic discovery (§6.2: "use a network naming context
+// to map the subcontract identifier into a library name, e.g.
+// replicon.so"). It is itself a Spring object, conventionally bound under
+// "subcontracts" in a network naming context.
+
+// SCMapType is the map interface's type identifier.
+const SCMapType core.TypeID = "spring.scmap"
+
+// SCMap operation numbers.
+const (
+	opLookup core.OpNum = iota
+	opPublish
+)
+
+// SCMapMT is the map's method table.
+var SCMapMT = &core.MTable{
+	Type:      SCMapType,
+	DefaultSC: singleton.SCID,
+	Ops:       []string{"lookup", "publish"},
+}
+
+// CodeNoMapping is the remote error code for an unmapped subcontract ID.
+const CodeNoMapping uint32 = 1111
+
+func init() {
+	core.MustRegisterType(SCMapType, core.ObjectType)
+	core.MustRegisterMTable(SCMapMT)
+}
+
+// SCMapServer serves the identifier→library mapping.
+type SCMapServer struct {
+	mu   sync.Mutex
+	libs map[core.ID]string
+	self *core.Object
+	door *kernel.Door
+}
+
+// NewSCMapServer creates and exports an empty map service in env.
+func NewSCMapServer(env *core.Env) *SCMapServer {
+	s := &SCMapServer{libs: make(map[core.ID]string)}
+	s.self, s.door = singleton.Export(env, SCMapMT, s.skeleton(), nil)
+	return s
+}
+
+// Object returns the service's own object (Copy before passing on).
+func (s *SCMapServer) Object() *core.Object { return s.self }
+
+// Publish records the library name for a subcontract identifier
+// (server-side convenience alongside the remote publish operation).
+func (s *SCMapServer) Publish(id core.ID, lib string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.libs[id] = lib
+}
+
+func (s *SCMapServer) skeleton() stubs.Skeleton {
+	return stubs.SkeletonFunc(func(op core.OpNum, args, results *buffer.Buffer) error {
+		switch op {
+		case opLookup:
+			id, err := args.ReadUint32()
+			if err != nil {
+				return err
+			}
+			s.mu.Lock()
+			lib, ok := s.libs[core.ID(id)]
+			s.mu.Unlock()
+			if !ok {
+				return &stubs.RemoteError{Code: CodeNoMapping, Msg: fmt.Sprintf("scmap: no library for subcontract %d", id)}
+			}
+			results.WriteString(lib)
+			return nil
+		case opPublish:
+			id, err := args.ReadUint32()
+			if err != nil {
+				return err
+			}
+			lib, err := args.ReadString()
+			if err != nil {
+				return err
+			}
+			s.Publish(core.ID(id), lib)
+			return nil
+		default:
+			return stubs.ErrBadOp
+		}
+	})
+}
+
+// SCMapClient is the client view of the map service.
+type SCMapClient struct {
+	Obj *core.Object
+}
+
+// Lookup maps a subcontract identifier to its library name.
+func (c SCMapClient) Lookup(id core.ID) (string, error) {
+	var lib string
+	err := stubs.Call(c.Obj, opLookup,
+		func(b *buffer.Buffer) error { b.WriteUint32(uint32(id)); return nil },
+		func(b *buffer.Buffer) error {
+			var err error
+			lib, err = b.ReadString()
+			return err
+		})
+	return lib, err
+}
+
+// Publish records a mapping remotely.
+func (c SCMapClient) Publish(id core.ID, lib string) error {
+	return stubs.Call(c.Obj, opPublish,
+		func(b *buffer.Buffer) error {
+			b.WriteUint32(uint32(id))
+			b.WriteString(lib)
+			return nil
+		}, nil)
+}
+
+// LibraryFor implements core.NameService, so an SCMap client plugs
+// directly into a domain's Loader.
+func (c SCMapClient) LibraryFor(id core.ID) (string, error) {
+	return c.Lookup(id)
+}
+
+var _ core.NameService = SCMapClient{}

@@ -1,0 +1,610 @@
+// Package netd implements the network door servers that extend the kernel
+// door mechanism transparently over the network (§3.3): forwarding door
+// invocations between machines and mapping door identifiers to and from an
+// extended network form.
+//
+// Each machine (kernel.Kernel) runs one Server. Exporting a door assigns
+// it a key in the server's export table; the pair (address, key) is the
+// door identifier's network form. Importing a descriptor fabricates a
+// proxy door whose target forwards calls over a pooled TCP connection.
+// Distributed reference counting is sound by construction: every
+// descriptor shipped carries one reference at its exporter, and a proxy
+// door's unreferenced notification releases it — so a door stays alive
+// exactly as long as identifiers for it exist anywhere, and server-side
+// unreferenced notifications keep working across machines. A door
+// re-imported by its home machine is unwrapped to the real door rather
+// than proxied; doors traveling A→B→C form proxy chains (the Spring
+// network servers shortcut these; the chain is semantically equivalent).
+//
+// The server also publishes named bootstrap roots: whole objects
+// (marshalled through their subcontracts) that remote machines fetch to
+// obtain their first object — typically a naming context.
+//
+// Known limitation, shared with any purely refcount-based distributed
+// collector (Spring's network servers included): if a peer machine dies
+// without releasing its references, the exporter's entries for it persist
+// until the exporting process exits. A lease/heartbeat layer would bound
+// this; it is out of the paper's scope.
+package netd
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+// Errors returned by network door operations. All transport-level failures
+// wrap kernel.ErrCommFailure so subcontracts classify them uniformly.
+var (
+	// ErrNoRoot is returned when a requested bootstrap root is not
+	// published.
+	ErrNoRoot = errors.New("netd: no such root")
+	// ErrClosed is returned when operating on a closed server.
+	ErrClosed = errors.New("netd: server closed")
+)
+
+// exportEntry tracks one exported door: the server's own identifier for it
+// and how many references are held remotely.
+type exportEntry struct {
+	h      kernel.Handle
+	remote int
+}
+
+// Server is one machine's network door server.
+type Server struct {
+	dom     *kernel.Domain
+	ln      net.Listener
+	addr    string
+	dial    dialer
+	Timeout time.Duration // per forwarded call; default 10s
+
+	mu       sync.Mutex
+	exports  map[uint64]*exportEntry
+	byDoor   map[uint64]uint64 // door identity → export key
+	nextKey  uint64
+	roots    map[string]*core.Object
+	conns    map[string]*conn   // dialled, pooled by address
+	allConns map[*conn]struct{} // every live connection, for teardown
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// Start launches a network door server for dom's kernel, listening on
+// listenAddr ("127.0.0.1:0" picks a free port). dom should be a dedicated
+// domain for the network server.
+func Start(dom *kernel.Domain, listenAddr string) (*Server, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("netd: listen: %w", err)
+	}
+	s := &Server{
+		dom:      dom,
+		ln:       ln,
+		addr:     ln.Addr().String(),
+		dial:     tcpDial,
+		Timeout:  10 * time.Second,
+		exports:  make(map[uint64]*exportEntry),
+		byDoor:   make(map[uint64]uint64),
+		nextKey:  1,
+		roots:    make(map[string]*core.Object),
+		conns:    make(map[string]*conn),
+		allConns: make(map[*conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's advertised address.
+func (s *Server) Addr() string { return s.addr }
+
+// Close stops the listener and tears down all connections. In-flight
+// calls fail with communications errors.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*conn, 0, len(s.allConns))
+	for c := range s.allConns {
+		conns = append(conns, c)
+	}
+	s.conns = make(map[string]*conn)
+	s.allConns = make(map[*conn]struct{})
+	s.mu.Unlock()
+
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.fail(ErrClosed)
+	}
+	s.wg.Wait()
+	return err
+}
+
+// commErr wraps a transport failure in the kernel's communications class.
+func commErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", kernel.ErrCommFailure, fmt.Sprintf(format, args...))
+}
+
+// ---------------------------------------------------------------------
+// Export / import of door identifiers.
+
+// exportSlot maps an in-flight door reference to its network form,
+// transferring the reference into the export table.
+func (s *Server) exportSlot(slot buffer.Door) (descriptor, error) {
+	ref, ok := slot.(kernel.Ref)
+	if !ok {
+		return descriptor{}, fmt.Errorf("netd: cannot export %T", slot)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if key, ok := s.byDoor[ref.DoorID()]; ok {
+		s.exports[key].remote++
+		ref.Release() // the table's handle already keeps the door alive
+		return descriptor{Addr: s.addr, Key: key}, nil
+	}
+	key := s.nextKey
+	s.nextKey++
+	s.exports[key] = &exportEntry{h: s.dom.AdoptRef(ref), remote: 1}
+	s.byDoor[ref.DoorID()] = key
+	return descriptor{Addr: s.addr, Key: key}, nil
+}
+
+// importDesc converts a network form back into a kernel door reference: a
+// proxy door for remote descriptors, the real door for one coming home.
+func (s *Server) importDesc(desc descriptor) (kernel.Ref, error) {
+	if desc.Addr == s.addr {
+		// One of our own doors returning home: unwrap to the real door,
+		// consuming the remote reference the descriptor carried.
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		e, ok := s.exports[desc.Key]
+		if !ok {
+			return kernel.Ref{}, fmt.Errorf("netd: stale home descriptor key %d", desc.Key)
+		}
+		ref, err := s.dom.RefOf(e.h)
+		if err != nil {
+			return kernel.Ref{}, err
+		}
+		s.releaseLocked(desc.Key, 1)
+		return ref, nil
+	}
+	proc := func(req *buffer.Buffer) (*buffer.Buffer, error) {
+		return s.forward(desc, req)
+	}
+	unref := func() { s.sendRelease(desc, 1) }
+	h, _ := s.dom.CreateDoor(proc, unref)
+	ref, err := s.dom.RefOf(h)
+	if err != nil {
+		return kernel.Ref{}, err
+	}
+	if err := s.dom.DeleteDoor(h); err != nil {
+		return kernel.Ref{}, err
+	}
+	return ref, nil
+}
+
+// releaseLocked drops remote references from an export entry, deleting the
+// table's identifier when none remain. Callers hold s.mu.
+func (s *Server) releaseLocked(key uint64, count int) {
+	e, ok := s.exports[key]
+	if !ok {
+		return
+	}
+	e.remote -= count
+	if e.remote > 0 {
+		return
+	}
+	delete(s.exports, key)
+	for id, k := range s.byDoor {
+		if k == key {
+			delete(s.byDoor, id)
+			break
+		}
+	}
+	h := e.h
+	// Delete outside the map bookkeeping but still under s.mu; the
+	// kernel delivers any unreferenced notification asynchronously.
+	_ = s.dom.DeleteDoor(h)
+}
+
+// sendRelease notifies a remote exporter that count references died here.
+// Best effort: if the peer is unreachable its state is already moot.
+func (s *Server) sendRelease(desc descriptor, count int) {
+	c, err := s.getConn(desc.Addr)
+	if err != nil {
+		return
+	}
+	payload := buffer.New(32)
+	payload.WriteByte(msgRelease)
+	payload.WriteUint64(desc.Key)
+	payload.WriteUvarint(uint64(count))
+	_ = c.send(payload.Bytes())
+}
+
+// Exports reports the number of live export entries (observability).
+func (s *Server) Exports() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.exports)
+}
+
+// ---------------------------------------------------------------------
+// Client side: forwarding calls through proxy doors.
+
+// forward executes one door call against a remote descriptor.
+func (s *Server) forward(desc descriptor, req *buffer.Buffer) (*buffer.Buffer, error) {
+	c, err := s.getConn(desc.Addr)
+	if err != nil {
+		return nil, err
+	}
+	payload := buffer.New(64 + req.Size())
+	payload.WriteByte(msgCall)
+	reqID, ch := c.register()
+	payload.WriteUint64(reqID)
+	payload.WriteUint64(desc.Key)
+	if err := s.putWireBuffer(payload, req); err != nil {
+		c.unregister(reqID)
+		return nil, err
+	}
+	if err := c.send(payload.Bytes()); err != nil {
+		c.unregister(reqID)
+		return nil, commErr("send to %s: %v", desc.Addr, err)
+	}
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			return nil, commErr("connection to %s lost", desc.Addr)
+		}
+		return s.parseReply(reply, desc)
+	case <-time.After(s.Timeout):
+		c.unregister(reqID)
+		return nil, commErr("call to %s timed out after %v", desc.Addr, s.Timeout)
+	}
+}
+
+// parseReply decodes a reply payload positioned after its request id.
+func (s *Server) parseReply(reply *buffer.Buffer, desc descriptor) (*buffer.Buffer, error) {
+	code, err := reply.ReadByte()
+	if err != nil {
+		return nil, commErr("truncated reply from %s", desc.Addr)
+	}
+	switch code {
+	case codeOK:
+		return s.getWireBuffer(reply)
+	case codeRevoked:
+		return nil, fmt.Errorf("netd: remote door %s/%d: %w", desc.Addr, desc.Key, kernel.ErrRevoked)
+	case codeBadKey:
+		return nil, fmt.Errorf("netd: remote door %s/%d: %w", desc.Addr, desc.Key, kernel.ErrBadHandle)
+	default:
+		msg, _ := reply.ReadString()
+		return nil, fmt.Errorf("netd: remote call failed: %s", msg)
+	}
+}
+
+// getConn returns (establishing if needed) the pooled connection to addr.
+func (s *Server) getConn(addr string) (*conn, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := s.conns[addr]; ok {
+		s.mu.Unlock()
+		return c, nil
+	}
+	s.mu.Unlock()
+
+	netc, err := s.dial(addr)
+	if err != nil {
+		return nil, commErr("dial %s: %v", addr, err)
+	}
+	c := newConn(netc)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = netc.Close()
+		return nil, ErrClosed
+	}
+	if old, ok := s.conns[addr]; ok {
+		s.mu.Unlock()
+		_ = netc.Close()
+		return old, nil
+	}
+	s.conns[addr] = c
+	s.allConns[c] = struct{}{}
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.serveConn(c, addr)
+	}()
+	return c, nil
+}
+
+// ---------------------------------------------------------------------
+// Server side: accepting and serving connections.
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		netc, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		c := newConn(netc)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = netc.Close()
+			return
+		}
+		s.allConns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(c, "")
+		}()
+	}
+}
+
+// serveConn demultiplexes one connection: replies complete pending
+// requests; calls, releases and root requests are served. addr is the
+// pool key for dialled connections ("" for accepted ones).
+func (s *Server) serveConn(c *conn, addr string) {
+	for {
+		frame, err := readFrame(c.netc)
+		if err != nil {
+			break
+		}
+		in := buffer.FromParts(frame, nil)
+		msg, err := in.ReadByte()
+		if err != nil {
+			break
+		}
+		switch msg {
+		case msgReply:
+			reqID, err := in.ReadUint64()
+			if err != nil {
+				continue
+			}
+			c.deliver(reqID, in)
+		case msgCall:
+			reqID, err1 := in.ReadUint64()
+			key, err2 := in.ReadUint64()
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			req, err := s.getWireBuffer(in)
+			if err != nil {
+				s.reply(c, reqID, codeError, nil, err.Error())
+				continue
+			}
+			go s.handleCall(c, reqID, key, req)
+		case msgRelease:
+			key, err1 := in.ReadUint64()
+			count, err2 := in.ReadUvarint()
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			s.mu.Lock()
+			s.releaseLocked(key, int(count))
+			s.mu.Unlock()
+		case msgRoot:
+			reqID, err := in.ReadUint64()
+			if err != nil {
+				continue
+			}
+			name, err := in.ReadString()
+			if err != nil {
+				continue
+			}
+			s.handleRoot(c, reqID, name)
+		}
+	}
+	c.fail(commErr("connection lost"))
+	s.mu.Lock()
+	if addr != "" && s.conns[addr] == c {
+		delete(s.conns, addr)
+	}
+	delete(s.allConns, c)
+	s.mu.Unlock()
+	_ = c.netc.Close()
+}
+
+// handleCall executes an incoming forwarded door call.
+func (s *Server) handleCall(c *conn, reqID, key uint64, req *buffer.Buffer) {
+	s.mu.Lock()
+	e, ok := s.exports[key]
+	var h kernel.Handle
+	if ok {
+		h = e.h
+	}
+	s.mu.Unlock()
+	if !ok {
+		kernel.ReleaseBufferDoors(req)
+		s.reply(c, reqID, codeBadKey, nil, "")
+		return
+	}
+	out, err := s.dom.Call(h, req)
+	switch {
+	case err == nil:
+		s.reply(c, reqID, codeOK, out, "")
+	case errors.Is(err, kernel.ErrRevoked):
+		s.reply(c, reqID, codeRevoked, nil, "")
+	case errors.Is(err, kernel.ErrBadHandle):
+		s.reply(c, reqID, codeBadKey, nil, "")
+	default:
+		s.reply(c, reqID, codeError, nil, err.Error())
+	}
+}
+
+// reply sends a reply frame for reqID.
+func (s *Server) reply(c *conn, reqID uint64, code byte, out *buffer.Buffer, errMsg string) {
+	payload := buffer.New(64)
+	payload.WriteByte(msgReply)
+	payload.WriteUint64(reqID)
+	payload.WriteByte(code)
+	switch code {
+	case codeOK:
+		if err := s.putWireBuffer(payload, out); err != nil {
+			// Re-encode as an error reply; the doors are already gone.
+			payload.Reset()
+			payload.WriteByte(msgReply)
+			payload.WriteUint64(reqID)
+			payload.WriteByte(codeError)
+			payload.WriteString(err.Error())
+		}
+	case codeError:
+		payload.WriteString(errMsg)
+	}
+	_ = c.send(payload.Bytes())
+}
+
+// ---------------------------------------------------------------------
+// Bootstrap roots.
+
+// PublishRoot publishes obj under name: remote machines can fetch a copy
+// with ImportRootObject to obtain their first object on this machine. The
+// object is retained (copies are marshalled per request, through its
+// subcontract).
+func (s *Server) PublishRoot(name string, obj *core.Object) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.roots[name] = obj
+}
+
+func (s *Server) handleRoot(c *conn, reqID uint64, name string) {
+	s.mu.Lock()
+	obj, ok := s.roots[name]
+	s.mu.Unlock()
+	if !ok {
+		s.reply(c, reqID, codeError, nil, ErrNoRoot.Error()+": "+name)
+		return
+	}
+	tmp := buffer.New(64)
+	if err := obj.MarshalCopy(tmp); err != nil {
+		s.reply(c, reqID, codeError, nil, err.Error())
+		return
+	}
+	s.reply(c, reqID, codeOK, tmp, "")
+}
+
+// ImportRootObject fetches the named root object from the server at addr
+// and unmarshals it into env (which must belong to this server's kernel).
+func (s *Server) ImportRootObject(env *core.Env, addr, name string, expected *core.MTable) (*core.Object, error) {
+	c, err := s.getConn(addr)
+	if err != nil {
+		return nil, err
+	}
+	payload := buffer.New(32)
+	payload.WriteByte(msgRoot)
+	reqID, ch := c.register()
+	payload.WriteUint64(reqID)
+	payload.WriteString(name)
+	if err := c.send(payload.Bytes()); err != nil {
+		c.unregister(reqID)
+		return nil, commErr("send to %s: %v", addr, err)
+	}
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			return nil, commErr("connection to %s lost", addr)
+		}
+		buf, err := s.parseReply(reply, descriptor{Addr: addr})
+		if err != nil {
+			return nil, err
+		}
+		return core.Unmarshal(env, expected, buf)
+	case <-time.After(s.Timeout):
+		c.unregister(reqID)
+		return nil, commErr("root fetch from %s timed out", addr)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Connections.
+
+// conn is one TCP connection with multiplexed request/reply framing.
+type conn struct {
+	netc net.Conn
+	wmu  sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan *buffer.Buffer
+	nextID  uint64
+	dead    bool
+}
+
+func newConn(netc net.Conn) *conn {
+	return &conn{netc: netc, pending: make(map[uint64]chan *buffer.Buffer), nextID: 1}
+}
+
+// register allocates a request id and its reply channel.
+func (c *conn) register() (uint64, chan *buffer.Buffer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextID
+	c.nextID++
+	ch := make(chan *buffer.Buffer, 1)
+	if c.dead {
+		close(ch)
+		return id, ch
+	}
+	c.pending[id] = ch
+	return id, ch
+}
+
+func (c *conn) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// deliver completes a pending request.
+func (c *conn) deliver(id uint64, reply *buffer.Buffer) {
+	c.mu.Lock()
+	ch, ok := c.pending[id]
+	if ok {
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	if ok {
+		ch <- reply
+	}
+}
+
+// send writes one frame, serializing concurrent writers.
+func (c *conn) send(payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return writeFrame(c.netc, payload)
+}
+
+// fail marks the connection dead and wakes all pending requests.
+func (c *conn) fail(err error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return
+	}
+	c.dead = true
+	pending := c.pending
+	c.pending = make(map[uint64]chan *buffer.Buffer)
+	c.mu.Unlock()
+	_ = c.netc.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+}

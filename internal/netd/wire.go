@@ -1,0 +1,139 @@
+package netd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/buffer"
+)
+
+// Wire protocol. Every message is a length-prefixed frame:
+//
+//	frame:   [len u32] [payload]
+//	call:    [msgCall u8]    [reqID u64] [key u64] [wirebuf]
+//	reply:   [msgReply u8]   [reqID u64] [code u8] [wirebuf | errstring]
+//	release: [msgRelease u8] [key u64] [count uvarint]
+//	root:    [msgRoot u8]    [reqID u64] [name string]   (replied with msgReply)
+//
+// wirebuf is a flattened communication buffer: the byte stream followed by
+// the door descriptors, in the FIFO order the doors were written:
+//
+//	wirebuf: [nbytes u32] [bytes] [ndoors uvarint] ndoors × [addr string][key u64]
+//
+// Door identifiers are mapped to this extended network form on export and
+// back to (proxy) kernel doors on import, exactly the role of the Spring
+// network servers (§3.3).
+const (
+	msgCall    = 1
+	msgReply   = 2
+	msgRelease = 3
+	msgRoot    = 4
+)
+
+// Reply codes, classifying the outcome of a forwarded door call so the
+// importing side can surface the same error class a local door would.
+const (
+	codeOK      = 0
+	codeRevoked = 1
+	codeBadKey  = 2
+	codeError   = 3
+)
+
+// maxFrame bounds a frame's size as a defence against corrupt peers.
+const maxFrame = 64 << 20
+
+// descriptor is a door identifier's extended network form.
+type descriptor struct {
+	Addr string
+	Key  uint64
+}
+
+// writeFrame sends one length-prefixed payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("netd: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// putWireBuffer flattens buf into out, converting its door references to
+// descriptors through the exporting server. The door references are
+// consumed (transferred to the wire).
+func (s *Server) putWireBuffer(out *buffer.Buffer, buf *buffer.Buffer) error {
+	out.WriteUint32(uint32(len(buf.Bytes())))
+	out.WriteRaw(buf.Bytes())
+	doors := buf.TakeDoors()
+	out.WriteUvarint(uint64(len(doors)))
+	for _, slot := range doors {
+		desc, err := s.exportSlot(slot)
+		if err != nil {
+			return err
+		}
+		out.WriteString(desc.Addr)
+		out.WriteUint64(desc.Key)
+	}
+	return nil
+}
+
+// getWireBuffer reconstitutes a communication buffer from the wire,
+// fabricating proxy doors for the received descriptors.
+func (s *Server) getWireBuffer(in *buffer.Buffer) (*buffer.Buffer, error) {
+	n, err := in.ReadUint32()
+	if err != nil {
+		return nil, err
+	}
+	bytes, err := in.ReadRaw(int(n))
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, len(bytes))
+	copy(data, bytes)
+	nd, err := in.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	doors := make([]buffer.Door, 0, nd)
+	for i := uint64(0); i < nd; i++ {
+		addr, err := in.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		key, err := in.ReadUint64()
+		if err != nil {
+			return nil, err
+		}
+		ref, err := s.importDesc(descriptor{Addr: addr, Key: key})
+		if err != nil {
+			return nil, err
+		}
+		doors = append(doors, ref)
+	}
+	return buffer.FromParts(data, doors), nil
+}
+
+// dialer abstracts net.Dial for tests.
+type dialer func(addr string) (net.Conn, error)
+
+func tcpDial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }

@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPriorityOrder(t *testing.T) {
+	e := NewExecutor(1)
+	defer e.Close()
+
+	var mu sync.Mutex
+	var order []int32
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	// Block the single worker so submissions queue up.
+	if err := e.Submit(0, func() { close(started); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	var wg sync.WaitGroup
+	record := func(p int32) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, p)
+			mu.Unlock()
+			wg.Done()
+		}
+	}
+	wg.Add(4)
+	for _, p := range []int32{1, 2, 1, 10} {
+		if err := e.Submit(p, record(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(gate)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []int32{10, 2, 1, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFIFOWithinPriority(t *testing.T) {
+	e := NewExecutor(1)
+	defer e.Close()
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	if err := e.Submit(0, func() { close(started); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	wg.Add(5)
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := e.Submit(3, func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			wg.Done()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(gate)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestRunWaits(t *testing.T) {
+	e := NewExecutor(2)
+	defer e.Close()
+	done := false
+	if err := e.Run(5, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("Run returned before fn finished")
+	}
+}
+
+func TestCloseDrains(t *testing.T) {
+	e := NewExecutor(2)
+	var mu sync.Mutex
+	n := 0
+	for i := 0; i < 50; i++ {
+		if err := e.Submit(1, func() {
+			mu.Lock()
+			n++
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if n != 50 {
+		t.Fatalf("drained %d of 50", n)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	e := NewExecutor(1)
+	e.Close()
+	if err := e.Submit(0, func() {}); err != ErrClosed {
+		t.Fatalf("Submit after close = %v, want ErrClosed", err)
+	}
+	if err := e.Run(0, func() {}); err != ErrClosed {
+		t.Fatalf("Run after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestQueued(t *testing.T) {
+	e := NewExecutor(1)
+	defer e.Close()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	if err := e.Submit(0, func() { close(started); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	for i := 0; i < 3; i++ {
+		if err := e.Submit(0, func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q := e.Queued(); q != 3 {
+		t.Fatalf("Queued = %d, want 3", q)
+	}
+	close(gate)
+}

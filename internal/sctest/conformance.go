@@ -1,0 +1,234 @@
+package sctest
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/stubs"
+)
+
+// Conformance drives the framework-contract battery against one
+// subcontract: the behaviours §5–§7 require of every subcontract
+// regardless of the policy it implements. Authors of new subcontracts run
+// it the way Spring subcontract writers would run a compliance suite.
+type Conformance struct {
+	// Name labels the subtests.
+	Name string
+	// NewEnv builds a domain wired with whatever libraries and
+	// environment slots the subcontract needs (naming contexts, cache
+	// managers, policies, ...).
+	NewEnv func(t *testing.T, k *kernel.Kernel, name string) *core.Env
+	// Export creates a fresh counter object (served by a fresh Counter)
+	// in srv.
+	Export func(t *testing.T, srv *core.Env) (*core.Object, *Counter)
+	// SharedKernel, when non-nil, is used instead of a fresh kernel per
+	// subtest (for subcontracts whose fixtures are machine-wide).
+	SharedKernel func(t *testing.T) *kernel.Kernel
+	// LocalInvoke reports whether the freshly exported object can be
+	// invoked before any marshal (true for every subcontract here).
+	LocalInvoke bool
+}
+
+func (c Conformance) kernelFor(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	if c.SharedKernel != nil {
+		return c.SharedKernel(t)
+	}
+	return kernel.New("conformance")
+}
+
+// Run executes the battery.
+func (c Conformance) Run(t *testing.T) {
+	t.Run(c.Name+"/invoke", c.testInvoke)
+	t.Run(c.Name+"/marshal-consumes", c.testMarshalConsumes)
+	t.Run(c.Name+"/marshal-copy-retains", c.testMarshalCopyRetains)
+	t.Run(c.Name+"/copy-shares-state", c.testCopySharesState)
+	t.Run(c.Name+"/consume", c.testConsume)
+	t.Run(c.Name+"/remote-exception", c.testRemoteException)
+	t.Run(c.Name+"/retransfer", c.testRetransfer)
+	t.Run(c.Name+"/compatible-unmarshal", c.testCompatibleUnmarshal)
+	t.Run(c.Name+"/nil-reference", c.testNilReference)
+}
+
+// world builds the standard two-domain fixture.
+func (c Conformance) world(t *testing.T) (*core.Env, *core.Env, *core.Object, *Counter) {
+	t.Helper()
+	k := c.kernelFor(t)
+	srv := c.NewEnv(t, k, "server")
+	cli := c.NewEnv(t, k, "client")
+	obj, ctr := c.Export(t, srv)
+	return srv, cli, obj, ctr
+}
+
+func (c Conformance) testInvoke(t *testing.T) {
+	_, cli, obj, ctr := c.world(t)
+	if c.LocalInvoke {
+		if v, err := Add(obj, 1); err != nil || v != 1 {
+			t.Fatalf("local Add = %d, %v", v, err)
+		}
+	}
+	remote, err := Transfer(obj, cli, CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ctr.Value()
+	if v, err := Add(remote, 5); err != nil || v != before+5 {
+		t.Fatalf("remote Add = %d, %v", v, err)
+	}
+	if ctr.Value() != before+5 {
+		t.Fatalf("server state = %d", ctr.Value())
+	}
+}
+
+func (c Conformance) testMarshalConsumes(t *testing.T) {
+	_, cli, obj, _ := c.world(t)
+	remote, err := Transfer(obj, cli, CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obj.Consumed() {
+		t.Fatal("marshal left the source object alive (§5.1.1 requires move semantics)")
+	}
+	if err := obj.Marshal(buffer.New(0)); !errors.Is(err, core.ErrConsumed) {
+		t.Fatalf("second marshal = %v, want ErrConsumed", err)
+	}
+	if _, err := Get(remote); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (c Conformance) testMarshalCopyRetains(t *testing.T) {
+	_, cli, obj, ctr := c.world(t)
+	remote, err := TransferCopy(obj, cli, CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Consumed() {
+		t.Fatal("marshal_copy consumed the original (§5.1.5 requires the caller to retain it)")
+	}
+	// Both designate the same underlying state.
+	if _, err := Add(obj, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := Get(remote); err != nil || v != ctr.Value() {
+		t.Fatalf("views diverged: remote %d, server %d (%v)", v, ctr.Value(), err)
+	}
+}
+
+func (c Conformance) testCopySharesState(t *testing.T) {
+	_, cli, obj, ctr := c.world(t)
+	remote, err := Transfer(obj, cli, CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := remote.Copy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Add(remote, 3); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := Get(cp); err != nil || v != ctr.Value() {
+		t.Fatalf("copy sees %d, server %d (%v)", v, ctr.Value(), err)
+	}
+	// The copy outlives the original (shallow copy semantics, §7).
+	if err := remote.Consume(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Get(cp); err != nil {
+		t.Fatalf("copy died with the original: %v", err)
+	}
+}
+
+func (c Conformance) testConsume(t *testing.T) {
+	_, cli, obj, _ := c.world(t)
+	remote, err := Transfer(obj, cli, CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Consume(); err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Consume(); !errors.Is(err, core.ErrConsumed) {
+		t.Fatalf("double consume = %v, want ErrConsumed", err)
+	}
+	if _, err := Get(remote); !errors.Is(err, core.ErrConsumed) {
+		t.Fatalf("invoke after consume = %v, want ErrConsumed", err)
+	}
+	if _, err := remote.Copy(); !errors.Is(err, core.ErrConsumed) {
+		t.Fatalf("copy after consume = %v, want ErrConsumed", err)
+	}
+	if err := remote.MarshalCopy(buffer.New(0)); !errors.Is(err, core.ErrConsumed) {
+		t.Fatalf("marshal_copy after consume = %v, want ErrConsumed", err)
+	}
+}
+
+func (c Conformance) testRemoteException(t *testing.T) {
+	_, cli, obj, _ := c.world(t)
+	remote, err := Transfer(obj, cli, CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Boom(remote); !stubs.IsRemote(err) {
+		t.Fatalf("Boom = %v, want remote exception", err)
+	}
+	// The object survives an application failure.
+	if _, err := Get(remote); err != nil {
+		t.Fatalf("object dead after remote exception: %v", err)
+	}
+}
+
+func (c Conformance) testRetransfer(t *testing.T) {
+	k := c.kernelFor(t)
+	srv := c.NewEnv(t, k, "server")
+	cliA := c.NewEnv(t, k, "clientA")
+	cliB := c.NewEnv(t, k, "clientB")
+	obj, ctr := c.Export(t, srv)
+
+	viaA, err := Transfer(obj, cliA, CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Add(viaA, 1); err != nil {
+		t.Fatal(err)
+	}
+	viaB, err := Transfer(viaA, cliB, CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := Add(viaB, 1); err != nil || v != ctr.Value() {
+		t.Fatalf("after onward transfer: %d, %v (server %d)", v, err, ctr.Value())
+	}
+}
+
+func (c Conformance) testCompatibleUnmarshal(t *testing.T) {
+	// CounterMT's default subcontract is singleton; whatever subcontract
+	// actually marshalled the object must be rediscovered by the peek
+	// protocol (§6.1) and preserved.
+	_, cli, obj, _ := c.world(t)
+	want := obj.SC.ID()
+	remote, err := Transfer(obj, cli, CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.SC.ID() != want {
+		t.Fatalf("unmarshalled with subcontract %d, want %d", remote.SC.ID(), want)
+	}
+}
+
+func (c Conformance) testNilReference(t *testing.T) {
+	k := c.kernelFor(t)
+	cli := c.NewEnv(t, k, "client")
+	buf := buffer.New(8)
+	var nilObj *core.Object
+	if err := nilObj.Marshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.Unmarshal(cli, CounterMT, buf)
+	if err != nil || got != nil {
+		t.Fatalf("nil reference = %v, %v", got, err)
+	}
+}

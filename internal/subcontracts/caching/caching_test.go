@@ -1,0 +1,267 @@
+package caching
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/naming"
+	"repro/internal/sctest"
+	"repro/internal/subcontracts/singleton"
+)
+
+// Counter op sets: get (op 0) is cacheable; add (op 1) invalidates.
+var (
+	counterCacheable  = cache.NewOpSet(sctest.OpGet)
+	counterInvalidate = cache.NewOpSet(sctest.OpAdd)
+)
+
+// machine models one machine: a kernel with a machine-local naming
+// context and a cache manager bound under "cachemgr".
+type machine struct {
+	k   *kernel.Kernel
+	ns  *naming.Server
+	mgr *cache.Manager
+}
+
+func newMachine(t *testing.T, name string) *machine {
+	t.Helper()
+	k := kernel.New(name)
+	nsEnv, err := sctest.NewEnv(k, name+"-naming", singleton.Register, Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := naming.NewServer(nsEnv)
+
+	mgrEnv, err := sctest.NewEnv(k, name+"-cachemgr", singleton.Register, Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := cache.NewManager(mgrEnv)
+	cp, err := mgr.Object().Copy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ns.Handle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Bind("cachemgr", cp, false); err != nil {
+		t.Fatal(err)
+	}
+	return &machine{k: k, ns: ns, mgr: mgr}
+}
+
+// newEnv creates a domain on m wired with the machine-local context.
+func (m *machine) newEnv(t *testing.T, name string) *core.Env {
+	t.Helper()
+	env, err := sctest.NewEnv(m.k, name, singleton.Register, Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := m.ns.Object().Copy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxObj, err := sctest.Transfer(cp, env, naming.ContextMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Set(LocalContextVar, ctxObj)
+	return env
+}
+
+func exportCounter(t *testing.T, srv *core.Env) (*core.Object, *sctest.Counter) {
+	t.Helper()
+	ctr := &sctest.Counter{}
+	obj, _ := Export(srv, sctest.CounterMT, ctr.Skeleton(), "cachemgr", counterCacheable, counterInvalidate, nil)
+	return obj, ctr
+}
+
+func TestLocalInvokeDirect(t *testing.T) {
+	m := newMachine(t, "m1")
+	srv := m.newEnv(t, "server")
+	obj, ctr := exportCounter(t, srv)
+	if v, err := sctest.Add(obj, 2); err != nil || v != 2 {
+		t.Fatalf("Add = %d, %v", v, err)
+	}
+	if ctr.Calls() != 1 {
+		t.Fatalf("calls = %d", ctr.Calls())
+	}
+	// No cache manager involved for the locally exported object.
+	if s := m.mgr.Stats(); s.Hits+s.Misses+s.Forwards != 0 {
+		t.Fatalf("manager touched for local object: %+v", s)
+	}
+}
+
+func TestUnmarshalWiresCache(t *testing.T) {
+	m := newMachine(t, "m1")
+	srv := m.newEnv(t, "server")
+	cli := m.newEnv(t, "client")
+	obj, ctr := exportCounter(t, srv)
+
+	remote, err := sctest.Transfer(obj, cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First get: miss, forwarded to the server.
+	if v, err := sctest.Get(remote); err != nil || v != 0 {
+		t.Fatalf("Get = %d, %v", v, err)
+	}
+	// Second get: hit, served by the cache manager.
+	if _, err := sctest.Get(remote); err != nil {
+		t.Fatal(err)
+	}
+	s := m.mgr.Stats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 miss + 1 hit", s)
+	}
+	if ctr.Calls() != 1 {
+		t.Fatalf("server saw %d calls, want 1 (second served from cache)", ctr.Calls())
+	}
+}
+
+func TestWriteInvalidates(t *testing.T) {
+	m := newMachine(t, "m1")
+	srv := m.newEnv(t, "server")
+	cli := m.newEnv(t, "client")
+	obj, _ := exportCounter(t, srv)
+	remote, err := sctest.Transfer(obj, cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if v, _ := sctest.Get(remote); v != 0 {
+		t.Fatal("warm-up get wrong")
+	}
+	if _, err := sctest.Add(remote, 5); err != nil {
+		t.Fatal(err)
+	}
+	// The get after the write must see fresh state, not the cached 0.
+	if v, err := sctest.Get(remote); err != nil || v != 5 {
+		t.Fatalf("Get after write = %d, %v; stale cache", v, err)
+	}
+	s := m.mgr.Stats()
+	if s.Invalidns != 1 {
+		t.Fatalf("invalidations = %d, want 1", s.Invalidns)
+	}
+}
+
+func TestClientsShareCache(t *testing.T) {
+	m := newMachine(t, "m1")
+	srv := m.newEnv(t, "server")
+	cliA := m.newEnv(t, "clientA")
+	cliB := m.newEnv(t, "clientB")
+	obj, ctr := exportCounter(t, srv)
+
+	ra, err := sctest.TransferCopy(obj, cliA, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := sctest.Transfer(obj, cliB, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sctest.Get(ra); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sctest.Get(rb); err != nil {
+		t.Fatal(err)
+	}
+	// Same machine, same manager, same server door → one shared cache
+	// entry: the second client's get is a hit.
+	s := m.mgr.Stats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want shared cache (1 miss, 1 hit)", s)
+	}
+	if ctr.Calls() != 1 {
+		t.Fatalf("server calls = %d, want 1", ctr.Calls())
+	}
+}
+
+func TestRemarshalReregisters(t *testing.T) {
+	m := newMachine(t, "m1")
+	srv := m.newEnv(t, "server")
+	cliA := m.newEnv(t, "clientA")
+	cliB := m.newEnv(t, "clientB")
+	obj, _ := exportCounter(t, srv)
+
+	ra, err := sctest.Transfer(obj, cliA, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := sctest.Transfer(ra, cliB, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := sctest.Get(rb); err != nil || v != 0 {
+		t.Fatalf("Get after re-marshal = %d, %v", v, err)
+	}
+	r, err := rep(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.D2 == 0 {
+		t.Fatal("re-unmarshalled object has no cache door")
+	}
+}
+
+func TestUnmarshalWithoutLocalContextFails(t *testing.T) {
+	m := newMachine(t, "m1")
+	srv := m.newEnv(t, "server")
+	obj, _ := exportCounter(t, srv)
+
+	bare, err := sctest.NewEnv(m.k, "bare", singleton.Register, Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sctest.Transfer(obj, bare, sctest.CounterMT); !errors.Is(err, ErrNoLocalContext) {
+		t.Fatalf("Transfer = %v, want ErrNoLocalContext", err)
+	}
+}
+
+func TestCopyConsume(t *testing.T) {
+	m := newMachine(t, "m1")
+	srv := m.newEnv(t, "server")
+	cli := m.newEnv(t, "client")
+	obj, _ := exportCounter(t, srv)
+	remote, err := sctest.Transfer(obj, cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := remote.Copy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Consume(); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := sctest.Get(cp); err != nil || v != 0 {
+		t.Fatalf("copy Get = %d, %v", v, err)
+	}
+	if err := cp.Consume(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sctest.Get(cp); !errors.Is(err, core.ErrConsumed) {
+		t.Fatalf("Get after consume = %v", err)
+	}
+}
+
+func TestManagerRemoteStats(t *testing.T) {
+	m := newMachine(t, "m1")
+	cli := m.newEnv(t, "client")
+	ctxAny, _ := cli.Get(LocalContextVar)
+	mgrObj, err := naming.Context{Obj: ctxAny.(*core.Object)}.Resolve("cachemgr", cache.ManagerMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cache.Client{Obj: mgrObj}.RemoteStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("fresh manager stats = %+v", s)
+	}
+}

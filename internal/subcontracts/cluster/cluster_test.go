@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sctest"
+	"repro/internal/stubs"
+)
+
+func setup(t *testing.T) (*core.Env, *core.Env) {
+	t.Helper()
+	k := kernel.New("m1")
+	srv, err := sctest.NewEnv(k, "server", Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := sctest.NewEnv(k, "client", Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, cli
+}
+
+func TestManyObjectsOneDoor(t *testing.T) {
+	srv, cli := setup(t)
+	s := NewServer(srv)
+
+	const n = 100
+	base := srv.Domain.HandleCount()
+	counters := make([]*sctest.Counter, n)
+	remotes := make([]*core.Object, n)
+	for i := range counters {
+		counters[i] = &sctest.Counter{}
+		obj, err := s.Export(sctest.CounterMT, counters[i].Skeleton())
+		if err != nil {
+			t.Fatal(err)
+		}
+		remotes[i], err = sctest.Transfer(obj, cli, sctest.CounterMT)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Server-side handle table must not have grown per object: the whole
+	// cluster shares one door. (Transient identifiers were moved to the
+	// client, so the count returns to the baseline.)
+	if got := srv.Domain.HandleCount(); got != base {
+		t.Errorf("server handles = %d, want %d (one door for all objects)", got, base)
+	}
+
+	// Tag dispatch must reach the right object.
+	for i, r := range remotes {
+		if _, err := sctest.Add(r, int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, c := range counters {
+		if c.Value() != int64(i+1) {
+			t.Fatalf("counter %d = %d, want %d (tag cross-talk)", i, c.Value(), i+1)
+		}
+	}
+}
+
+func TestRevokeTag(t *testing.T) {
+	srv, cli := setup(t)
+	s := NewServer(srv)
+	c1, c2 := &sctest.Counter{}, &sctest.Counter{}
+	o1, err := s.Export(sctest.CounterMT, c1.Skeleton())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := s.Export(sctest.CounterMT, c2.Skeleton())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag1, err := TagOf(o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := sctest.Transfer(o1, cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sctest.Transfer(o2, cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.RevokeTag(tag1)
+	if s.Objects() != 1 {
+		t.Fatalf("Objects = %d, want 1", s.Objects())
+	}
+	err = sctest.Boom(r1)
+	if !stubs.IsRemote(err) || !strings.Contains(err.Error(), "revoked") {
+		t.Fatalf("call on revoked tag = %v, want cluster revocation exception", err)
+	}
+	// The sibling object behind the same door still works.
+	if v, err := sctest.Add(r2, 4); err != nil || v != 4 {
+		t.Fatalf("sibling after tag revoke = %d, %v", v, err)
+	}
+}
+
+func TestRevokeWholeDoor(t *testing.T) {
+	srv, cli := setup(t)
+	s := NewServer(srv)
+	c := &sctest.Counter{}
+	obj, err := s.Export(sctest.CounterMT, c.Skeleton())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sctest.Transfer(obj, cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Revoke()
+	if _, err := sctest.Get(r); err == nil {
+		t.Fatal("call succeeded after door revocation")
+	}
+}
+
+func TestCopyAndMarshalCopy(t *testing.T) {
+	srv, cli := setup(t)
+	s := NewServer(srv)
+	c := &sctest.Counter{}
+	obj, err := s.Export(sctest.CounterMT, c.Skeleton())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sctest.TransferCopy(obj, cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Consumed() {
+		t.Fatal("marshal_copy consumed original")
+	}
+	cp, err := r.Copy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sctest.Add(cp, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := sctest.Get(r); err != nil || v != 2 {
+		t.Fatalf("original view = %d, %v; copy must share the tag/state", v, err)
+	}
+	if err := cp.Consume(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sctest.Get(r); err != nil {
+		t.Fatalf("original died with copy: %v", err)
+	}
+}
+
+func TestClusterObjectsDistinctTags(t *testing.T) {
+	srv, _ := setup(t)
+	s := NewServer(srv)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10; i++ {
+		obj, err := s.Export(sctest.CounterMT, (&sctest.Counter{}).Skeleton())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tag, err := TagOf(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[tag] {
+			t.Fatalf("duplicate tag %d", tag)
+		}
+		seen[tag] = true
+	}
+}

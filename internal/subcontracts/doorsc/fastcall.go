@@ -1,0 +1,55 @@
+package doorsc
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/stubs"
+)
+
+// FastCall is a specialized stub path for the popular combination of a
+// plain door-based subcontract (singleton/simplex remote) — the §9.1
+// future direction: "providing specialized stubs for some particularly
+// popular and performance-critical combinations of types and
+// subcontracts. We would still keep the general purpose stubs available
+// ... but when we were lucky enough to receive an object that happened to
+// be of the right type and subcontract we would be able to use the
+// specialized stubs."
+//
+// When the object's subcontract is a *doorsc.Ops, the call inlines what
+// the general path does through two indirect subcontract calls: the
+// (empty) invoke_preamble and the door invocation. Any other subcontract
+// falls back to the general-purpose stubs, preserving identical
+// semantics. Experiment E13 measures the difference.
+func FastCall(obj *core.Object, op core.OpNum, marshalArgs, unmarshalResults stubs.MarshalFunc) error {
+	if obj == nil {
+		return core.ErrNilObject
+	}
+	sc, ok := obj.SC.(*Ops)
+	if !ok {
+		// Not the specialized combination: use the general-purpose stubs.
+		return stubs.Call(obj, op, marshalArgs, unmarshalResults)
+	}
+	if err := obj.CheckLive(); err != nil {
+		return err
+	}
+	r, err := sc.rep(obj)
+	if err != nil {
+		return err
+	}
+	args := buffer.New(64)
+	args.WriteUint32(uint32(op))
+	if marshalArgs != nil {
+		if err := marshalArgs(args); err != nil {
+			kernel.ReleaseBufferDoors(args)
+			return fmt.Errorf("doorsc: marshalling %s op %d: %w", obj.MT.Type, op, err)
+		}
+	}
+	reply, err := obj.Env.Domain.Call(r.H, args)
+	if err != nil {
+		return err
+	}
+	return stubs.DecodeReply(reply, unmarshalResults)
+}

@@ -1,0 +1,134 @@
+package doorsc_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sctest"
+	"repro/internal/stubs"
+	"repro/internal/subcontracts/doorsc"
+	"repro/internal/subcontracts/replicon"
+	"repro/internal/subcontracts/singleton"
+)
+
+// get wraps the counter get() through the specialized path.
+func fastGet(obj *core.Object) (int64, error) {
+	var v int64
+	err := doorsc.FastCall(obj, sctest.OpGet, nil, func(b *buffer.Buffer) error {
+		var err error
+		v, err = b.ReadInt64()
+		return err
+	})
+	return v, err
+}
+
+func TestFastCallMatchesGeneralPath(t *testing.T) {
+	k := kernel.New("m1")
+	srv, err := sctest.NewEnv(k, "server", singleton.Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := sctest.NewEnv(k, "client", singleton.Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := &sctest.Counter{}
+	obj, _ := singleton.Export(srv, sctest.CounterMT, ctr.Skeleton(), nil)
+	remote, err := sctest.Transfer(obj, cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sctest.Add(remote, 7); err != nil {
+		t.Fatal(err)
+	}
+	// The specialized stub sees the same state.
+	if v, err := fastGet(remote); err != nil || v != 7 {
+		t.Fatalf("FastCall get = %d, %v", v, err)
+	}
+	// Remote exceptions survive the fast path unchanged.
+	err = doorsc.FastCall(remote, sctest.OpBoom, nil, nil)
+	if !stubs.IsRemote(err) {
+		t.Fatalf("Boom via FastCall = %v, want remote exception", err)
+	}
+}
+
+func TestFastCallFallsBackForOtherSubcontracts(t *testing.T) {
+	k := kernel.New("m1")
+	g := replicon.NewGroup()
+	ctr := &sctest.Counter{}
+	for i := 0; i < 2; i++ {
+		env, err := sctest.NewEnv(k, fmt.Sprintf("replica%d", i), replicon.Register)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Join(env, "r", ctr.Skeleton())
+	}
+	cli, err := sctest.NewEnv(k, "client", replicon.Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := g.Export(cli, sctest.CounterMT)
+
+	// The specialized path must not apply (replicon needs its preamble
+	// for the epoch control section); the fallback keeps it correct.
+	if v, err := fastGet(obj); err != nil || v != 0 {
+		t.Fatalf("FastCall on replicon = %d, %v", v, err)
+	}
+	if ctr.Calls() != 1 {
+		t.Fatalf("server calls = %d", ctr.Calls())
+	}
+}
+
+func TestQueryType(t *testing.T) {
+	// The run-time type query of §5.1.6: the server-side subcontract code
+	// answers with the exported dynamic type, without involving the
+	// application skeleton.
+	k := kernel.New("m1")
+	srv, err := sctest.NewEnv(k, "server", singleton.Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := sctest.NewEnv(k, "client", singleton.Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := &sctest.Counter{}
+	obj, _ := singleton.Export(srv, sctest.CounterMT, ctr.Skeleton(), nil)
+	remote, err := sctest.Transfer(obj, cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, err := doorsc.QueryType(remote)
+	if err != nil || typ != sctest.CounterType {
+		t.Fatalf("QueryType = %q, %v", typ, err)
+	}
+	// The query left the application untouched.
+	if ctr.Calls() != 0 {
+		t.Fatalf("type query reached the skeleton: %d calls", ctr.Calls())
+	}
+	if _, err := doorsc.QueryType(nil); !errors.Is(err, core.ErrNilObject) {
+		t.Fatalf("QueryType(nil) = %v", err)
+	}
+}
+
+func TestFastCallConsumedAndNil(t *testing.T) {
+	k := kernel.New("m1")
+	srv, err := sctest.NewEnv(k, "server", singleton.Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := singleton.Export(srv, sctest.CounterMT, (&sctest.Counter{}).Skeleton(), nil)
+	if err := obj.Consume(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fastGet(obj); !errors.Is(err, core.ErrConsumed) {
+		t.Fatalf("FastCall on consumed = %v", err)
+	}
+	if err := doorsc.FastCall(nil, 0, nil, nil); !errors.Is(err, core.ErrNilObject) {
+		t.Fatalf("FastCall(nil) = %v", err)
+	}
+}

@@ -1,0 +1,124 @@
+// Package priority implements the priority subcontract sketched in the
+// paper's future directions (§8.4): "a subcontract that transfers
+// scheduling priority information between clients and servers for
+// time-critical operations."
+//
+// The client-side invoke_preamble piggybacks the calling domain's current
+// scheduling priority (an environment slot) as control information on each
+// call; the server-side subcontract code runs the call through a
+// priority-scheduled executor at that priority. Neither the stubs nor the
+// application interfaces change — exactly the point of subcontract.
+package priority
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sched"
+	"repro/internal/stubs"
+	"repro/internal/subcontracts/doorsc"
+)
+
+// SCID is the priority subcontract identifier.
+const SCID core.ID = 8
+
+// LibraryName is the simulated dynamic-linker library name (§6.2).
+const LibraryName = "priority.so"
+
+// Var is the environment slot holding the calling domain's current
+// priority (an int32; absent means 0).
+const Var = "sched.priority"
+
+// ops is the client-side vector: door-based, plus the priority preamble.
+type ops struct {
+	doorsc.Ops
+}
+
+// SC is the priority subcontract.
+var SC core.ClientOps = &ops{Ops: doorsc.Ops{Ident: SCID, SCName: "priority"}}
+
+// Register is the library entry point installing priority in a registry.
+func Register(r *core.Registry) error { return r.Register(SC) }
+
+// Unmarshal must fabricate objects with the outer vector (embedding would
+// hand out the plain door vector and lose the preamble).
+func (o *ops) Unmarshal(env *core.Env, mt *core.MTable, buf *buffer.Buffer) (*core.Object, error) {
+	if obj, handled, err := core.RedispatchUnmarshal(env, mt, buf, SCID); handled {
+		return obj, err
+	}
+	actual, err := core.ReadHeader(buf, SCID)
+	if err != nil {
+		return nil, err
+	}
+	h, err := env.Domain.AdoptFromBuffer(buf)
+	if err != nil {
+		return nil, fmt.Errorf("priority: unmarshal: %w", err)
+	}
+	return core.NewObject(env, core.PickMTable(mt, actual), o, doorsc.Rep{H: h}), nil
+}
+
+// Copy duplicates the identifier, keeping the outer vector.
+func (o *ops) Copy(obj *core.Object) (*core.Object, error) {
+	if err := obj.CheckLive(); err != nil {
+		return nil, err
+	}
+	r, ok := obj.Rep.(doorsc.Rep)
+	if !ok {
+		return nil, fmt.Errorf("priority: foreign representation %T", obj.Rep)
+	}
+	h, err := obj.Env.Domain.CopyDoor(r.H)
+	if err != nil {
+		return nil, fmt.Errorf("priority: copy: %w", err)
+	}
+	return core.NewObject(obj.Env, obj.MT, o, doorsc.Rep{H: h}), nil
+}
+
+// InvokePreamble writes the caller's priority into the call buffer before
+// the stubs marshal the operation and arguments.
+func (o *ops) InvokePreamble(obj *core.Object, call *core.Call) error {
+	if err := obj.CheckLive(); err != nil {
+		return err
+	}
+	call.Args().WriteInt32(CurrentPriority(obj.Env))
+	return nil
+}
+
+// CurrentPriority reads the domain's scheduling priority slot.
+func CurrentPriority(env *core.Env) int32 {
+	if v, ok := env.Get(Var); ok {
+		if p, ok := v.(int32); ok {
+			return p
+		}
+	}
+	return 0
+}
+
+// SetPriority sets the domain's scheduling priority slot.
+func SetPriority(env *core.Env, p int32) { env.Set(Var, p) }
+
+// Export creates a priority Spring object in env backed by skel, running
+// incoming calls through exec at the priority each call carries.
+func Export(env *core.Env, mt *core.MTable, skel stubs.Skeleton, exec *sched.Executor, unref func()) (*core.Object, *kernel.Door) {
+	proc := func(req *buffer.Buffer) (*buffer.Buffer, error) {
+		prio, err := req.ReadInt32()
+		if err != nil {
+			return nil, fmt.Errorf("priority: missing priority control: %w", err)
+		}
+		var reply *buffer.Buffer
+		var serveErr error
+		if err := exec.Run(prio, func() {
+			reply = buffer.New(128)
+			serveErr = stubs.ServeCall(skel, req, reply)
+		}); err != nil {
+			return nil, err
+		}
+		if serveErr != nil {
+			return nil, serveErr
+		}
+		return reply, nil
+	}
+	h, door := env.Domain.CreateDoor(proc, unref)
+	return core.NewObject(env, mt, SC, doorsc.Rep{H: h}), door
+}

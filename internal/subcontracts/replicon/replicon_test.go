@@ -1,0 +1,255 @@
+package replicon
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sctest"
+	"repro/internal/stubs"
+)
+
+// sharedCounter builds a group of n replicas that conspire to maintain one
+// counter (the servers "perform their own state synchronization" — here by
+// sharing the state object, as co-operating Spring servers may).
+func sharedCounter(t *testing.T, k *kernel.Kernel, n int) (*Group, *sctest.Counter, []*Member, []*core.Env) {
+	t.Helper()
+	g := NewGroup()
+	ctr := &sctest.Counter{}
+	members := make([]*Member, n)
+	envs := make([]*core.Env, n)
+	for i := 0; i < n; i++ {
+		env, err := sctest.NewEnv(k, "replica", Register)
+		if err != nil {
+			t.Fatal(err)
+		}
+		envs[i] = env
+		members[i] = g.Join(env, env.Domain.Name(), ctr.Skeleton())
+	}
+	return g, ctr, members, envs
+}
+
+func client(t *testing.T, k *kernel.Kernel) *core.Env {
+	t.Helper()
+	env, err := sctest.NewEnv(k, "client", Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestInvokeFirstReplica(t *testing.T) {
+	k := kernel.New("m1")
+	g, ctr, _, _ := sharedCounter(t, k, 3)
+	cli := client(t, k)
+	obj := g.Export(cli, sctest.CounterMT)
+
+	if v, err := sctest.Add(obj, 10); err != nil || v != 10 {
+		t.Fatalf("Add = %d, %v", v, err)
+	}
+	if ctr.Value() != 10 {
+		t.Fatalf("server state = %d", ctr.Value())
+	}
+	if n, _ := Replicas(obj); n != 3 {
+		t.Fatalf("replicas = %d, want 3", n)
+	}
+}
+
+func TestFailoverOnCrash(t *testing.T) {
+	k := kernel.New("m1")
+	g, _, members, _ := sharedCounter(t, k, 3)
+	cli := client(t, k)
+	obj := g.Export(cli, sctest.CounterMT)
+
+	if _, err := sctest.Add(obj, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the replica the client is talking to (the first). The next
+	// invocation must transparently fail over.
+	members[0].Crash()
+	if v, err := sctest.Add(obj, 1); err != nil || v != 2 {
+		t.Fatalf("Add after crash = %d, %v; failover failed", v, err)
+	}
+	// The reply from the surviving replica piggybacked the new set.
+	if n, _ := Replicas(obj); n != 2 {
+		t.Fatalf("replicas after update = %d, want 2", n)
+	}
+	if e, _ := Epoch(obj); e != g.Epoch() {
+		t.Fatalf("epoch = %d, want %d", e, g.Epoch())
+	}
+}
+
+func TestAllReplicasDead(t *testing.T) {
+	k := kernel.New("m1")
+	g, _, members, _ := sharedCounter(t, k, 2)
+	cli := client(t, k)
+	obj := g.Export(cli, sctest.CounterMT)
+	for _, m := range members {
+		m.Crash()
+	}
+	if _, err := sctest.Get(obj); !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("Get with all dead = %v, want ErrNoReplicas", err)
+	}
+}
+
+func TestJoinPropagatesToClient(t *testing.T) {
+	k := kernel.New("m1")
+	g, ctr, _, _ := sharedCounter(t, k, 1)
+	cli := client(t, k)
+	obj := g.Export(cli, sctest.CounterMT)
+	if _, err := sctest.Add(obj, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new replica joins; the next reply updates the client's set.
+	env, err := sctest.NewEnv(k, "late-replica", Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Join(env, "late", ctr.Skeleton())
+	if _, err := sctest.Add(obj, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := Replicas(obj); n != 2 {
+		t.Fatalf("replicas after join = %d, want 2", n)
+	}
+}
+
+func TestRemoteExceptionNotRetried(t *testing.T) {
+	k := kernel.New("m1")
+	g, ctr, _, _ := sharedCounter(t, k, 3)
+	cli := client(t, k)
+	obj := g.Export(cli, sctest.CounterMT)
+
+	if err := sctest.Boom(obj); !stubs.IsRemote(err) {
+		t.Fatalf("Boom = %v, want remote exception", err)
+	}
+	// A remote exception is not a communications error: exactly one
+	// replica saw the call, and the set is intact.
+	if ctr.Calls() != 1 {
+		t.Fatalf("calls = %d, want 1 (no retry on remote exception)", ctr.Calls())
+	}
+	if n, _ := Replicas(obj); n != 3 {
+		t.Fatalf("replicas = %d, want 3", n)
+	}
+}
+
+func TestMarshalUnmarshalReplicaSet(t *testing.T) {
+	k := kernel.New("m1")
+	g, _, _, _ := sharedCounter(t, k, 3)
+	cliA := client(t, k)
+	cliB := client(t, k)
+	obj := g.Export(cliA, sctest.CounterMT)
+
+	moved, err := sctest.Transfer(obj, cliB, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obj.Consumed() {
+		t.Fatal("marshal did not consume")
+	}
+	if n, _ := Replicas(moved); n != 3 {
+		t.Fatalf("replicas after transfer = %d, want 3", n)
+	}
+	if v, err := sctest.Add(moved, 5); err != nil || v != 5 {
+		t.Fatalf("Add via moved object = %d, %v", v, err)
+	}
+}
+
+func TestCopyIndependentSets(t *testing.T) {
+	k := kernel.New("m1")
+	g, _, members, _ := sharedCounter(t, k, 2)
+	cli := client(t, k)
+	obj := g.Export(cli, sctest.CounterMT)
+	cp, err := obj.Copy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	members[0].Crash()
+	// Both objects fail over independently.
+	if _, err := sctest.Add(obj, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sctest.Add(cp, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Consume(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sctest.Add(cp, 1); err != nil {
+		t.Fatalf("copy dead after original consumed: %v", err)
+	}
+}
+
+func TestConsumeReleasesAll(t *testing.T) {
+	k := kernel.New("m1")
+	g, _, _, _ := sharedCounter(t, k, 3)
+	cli := client(t, k)
+	obj := g.Export(cli, sctest.CounterMT)
+	before := cli.Domain.HandleCount()
+	if before == 0 {
+		t.Fatal("expected replica handles in client domain")
+	}
+	if err := obj.Consume(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cli.Domain.HandleCount(); got != before-3 {
+		t.Fatalf("handles after consume = %d, want %d", got, before-3)
+	}
+	if _, err := sctest.Get(obj); !errors.Is(err, core.ErrConsumed) {
+		t.Fatalf("Get after consume = %v", err)
+	}
+}
+
+func TestSingletonReceiverDiscoversReplicon(t *testing.T) {
+	// A domain linked with replicon receives a replicon object through
+	// the generic unmarshal path even though the counter type defaults to
+	// singleton — the §6.1 compatible-subcontract protocol.
+	k := kernel.New("m1")
+	g, _, _, _ := sharedCounter(t, k, 2)
+	cli := client(t, k)
+	obj := g.Export(cli, sctest.CounterMT)
+
+	buf := buffer.New(64)
+	if err := obj.Marshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.Unmarshal(cli, sctest.CounterMT, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SC.ID() != SCID {
+		t.Fatalf("subcontract = %d, want replicon", got.SC.ID())
+	}
+}
+
+func TestConcurrentInvokeDuringCrash(t *testing.T) {
+	k := kernel.New("m1")
+	g, _, members, _ := sharedCounter(t, k, 3)
+	cli := client(t, k)
+	obj := g.Export(cli, sctest.CounterMT)
+
+	var wg sync.WaitGroup
+	const calls = 50
+	errCh := make(chan error, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := sctest.Add(obj, 1); err != nil {
+				errCh <- err
+			}
+		}()
+		if i == 10 {
+			members[0].Crash()
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("concurrent invoke failed: %v", err)
+	}
+}

@@ -1,0 +1,161 @@
+package shm
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sctest"
+	"repro/internal/stubs"
+)
+
+// echo is a one-op interface echoing a byte payload.
+const opEcho core.OpNum = 0
+
+var echoMT = &core.MTable{Type: "shmtest.echo", DefaultSC: SCID, Ops: []string{"echo"}}
+
+func init() {
+	core.MustRegisterType("shmtest.echo", core.ObjectType)
+	core.MustRegisterMTable(echoMT)
+}
+
+func echoSkeleton() stubs.Skeleton {
+	return stubs.SkeletonFunc(func(op core.OpNum, args, results *buffer.Buffer) error {
+		if op != opEcho {
+			return stubs.ErrBadOp
+		}
+		p, err := args.ReadBytes()
+		if err != nil {
+			return err
+		}
+		results.WriteBytes(p)
+		return nil
+	})
+}
+
+func callEcho(obj *core.Object, payload []byte) ([]byte, error) {
+	var out []byte
+	err := stubs.Call(obj, opEcho,
+		func(b *buffer.Buffer) error { b.WriteBytes(payload); return nil },
+		func(b *buffer.Buffer) error {
+			p, err := b.ReadBytes()
+			if err != nil {
+				return err
+			}
+			out = append([]byte(nil), p...)
+			return err
+		})
+	return out, err
+}
+
+func setup(t *testing.T, mode Mode) (*core.Object, *SC) {
+	t.Helper()
+	k := kernel.New("m")
+	sc := New(mode)
+	srv, err := sctest.NewEnv(k, "server", sc.Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := sc.Export(srv, echoMT, echoSkeleton(), nil)
+	return obj, sc
+}
+
+func TestEchoDirect(t *testing.T) {
+	obj, _ := setup(t, Direct)
+	payload := bytes.Repeat([]byte("x"), 4096)
+	got, err := callEcho(obj, payload)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("echo(Direct) wrong: %d bytes, %v", len(got), err)
+	}
+}
+
+func TestEchoCopyAfter(t *testing.T) {
+	obj, _ := setup(t, CopyAfter)
+	payload := bytes.Repeat([]byte("y"), 4096)
+	got, err := callEcho(obj, payload)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("echo(CopyAfter) wrong: %d bytes, %v", len(got), err)
+	}
+}
+
+func TestRegionRecycled(t *testing.T) {
+	obj, _ := setup(t, Direct)
+	// Repeated calls must not leak regions; with a pool the second call
+	// reuses the first call's region. Indirectly observable: calls keep
+	// succeeding and payloads never cross-contaminate.
+	for i := 0; i < 100; i++ {
+		payload := bytes.Repeat([]byte{byte(i)}, 128+i)
+		got, err := callEcho(obj, payload)
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("call %d corrupted: %v", i, err)
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	k := kernel.New("m")
+	sc := New(Direct)
+	srv, err := sctest.NewEnv(k, "server", sc.Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := sctest.NewEnv(k, "client", sc.Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := sc.Export(srv, echoMT, echoSkeleton(), nil)
+	remote, err := sctest.Transfer(obj, cli, echoMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.SC.ID() != SCID {
+		t.Fatalf("subcontract = %d", remote.SC.ID())
+	}
+	got, err := callEcho(remote, []byte("hi"))
+	if err != nil || string(got) != "hi" {
+		t.Fatalf("remote echo = %q, %v", got, err)
+	}
+	cp, err := remote.Copy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Consume(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := callEcho(cp, []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoorsSurviveCopyAfterMode(t *testing.T) {
+	// CopyAfter splices the argument buffer; door references in the
+	// arguments must survive the copy.
+	k := kernel.New("m")
+	sc := New(CopyAfter)
+	srv, err := sctest.NewEnv(k, "server", sc.Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adopted := make(chan error, 1)
+	skel := stubs.SkeletonFunc(func(op core.OpNum, args, results *buffer.Buffer) error {
+		_, err := srv.Domain.AdoptFromBuffer(args)
+		adopted <- err
+		return err
+	})
+	obj, _ := sc.Export(srv, echoMT, skel, nil)
+
+	payloadDoor, _ := srv.Domain.CreateDoor(func(req *buffer.Buffer) (*buffer.Buffer, error) {
+		return buffer.New(0), nil
+	}, nil)
+	err = stubs.Call(obj, 0, func(b *buffer.Buffer) error {
+		return srv.Domain.MoveToBuffer(payloadDoor, b)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-adopted; err != nil {
+		t.Fatalf("door lost in CopyAfter splice: %v", err)
+	}
+}

@@ -1,0 +1,200 @@
+package simplex
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sctest"
+)
+
+func setup(t *testing.T) (*core.Env, *core.Env) {
+	t.Helper()
+	k := kernel.New("m1")
+	srv, err := sctest.NewEnv(k, "server", Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := sctest.NewEnv(k, "client", Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, cli
+}
+
+func TestLocalInvokeWithoutDoor(t *testing.T) {
+	srv, _ := setup(t)
+	ctr := &sctest.Counter{}
+	obj := Export(srv, sctest.CounterMT, ctr.Skeleton(), nil)
+
+	if HasDoor(obj) {
+		t.Fatal("door created eagerly; §5.2.1 optimization missing")
+	}
+	before := srv.Domain.HandleCount()
+	if v, err := sctest.Add(obj, 3); err != nil || v != 3 {
+		t.Fatalf("local Add = %d, %v", v, err)
+	}
+	if HasDoor(obj) || srv.Domain.HandleCount() != before {
+		t.Fatal("local invocation created cross-domain resources")
+	}
+}
+
+func TestMarshalCreatesDoorLazily(t *testing.T) {
+	srv, cli := setup(t)
+	ctr := &sctest.Counter{}
+	obj := Export(srv, sctest.CounterMT, ctr.Skeleton(), nil)
+	if _, err := sctest.Add(obj, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	remote, err := sctest.Transfer(obj, cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := sctest.Get(remote); err != nil || v != 2 {
+		t.Fatalf("remote Get = %d, %v; state lost across marshal", v, err)
+	}
+	if remote.SC.Name() != "simplex" {
+		t.Fatalf("remote subcontract = %q", remote.SC.Name())
+	}
+}
+
+func TestLocalCopySharesState(t *testing.T) {
+	srv, _ := setup(t)
+	ctr := &sctest.Counter{}
+	obj := Export(srv, sctest.CounterMT, ctr.Skeleton(), nil)
+	cp, err := obj.Copy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sctest.Add(obj, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := sctest.Get(cp); err != nil || v != 1 {
+		t.Fatalf("copy sees %d, %v; want shared state 1", v, err)
+	}
+	if err := obj.Consume(); err != nil {
+		t.Fatal(err)
+	}
+	// The copy remains usable after the original is consumed.
+	if _, err := sctest.Get(cp); err != nil {
+		t.Fatalf("copy dead after original consumed: %v", err)
+	}
+	if err := cp.Consume(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalCopyThenLocalAndRemote(t *testing.T) {
+	srv, cli := setup(t)
+	ctr := &sctest.Counter{}
+	obj := Export(srv, sctest.CounterMT, ctr.Skeleton(), nil)
+
+	remote, err := sctest.TransferCopy(obj, cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local object still works via the in-process fast path; both views
+	// reach the same skeleton.
+	if _, err := sctest.Add(obj, 5); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := sctest.Get(remote); err != nil || v != 5 {
+		t.Fatalf("remote view = %d, %v", v, err)
+	}
+}
+
+func TestRevokeLocalAndRemote(t *testing.T) {
+	srv, cli := setup(t)
+	ctr := &sctest.Counter{}
+	obj := Export(srv, sctest.CounterMT, ctr.Skeleton(), nil)
+	remote, err := sctest.TransferCopy(obj, cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Revoke(obj); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sctest.Get(obj); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("local invoke after revoke = %v, want ErrRevoked", err)
+	}
+	if _, err := sctest.Get(remote); !errors.Is(err, kernel.ErrRevoked) {
+		t.Fatalf("remote invoke after revoke = %v, want kernel.ErrRevoked", err)
+	}
+}
+
+func TestRevokeBeforeDoorCreation(t *testing.T) {
+	srv, cli := setup(t)
+	ctr := &sctest.Counter{}
+	obj := Export(srv, sctest.CounterMT, ctr.Skeleton(), nil)
+	if err := Revoke(obj); err != nil {
+		t.Fatal(err)
+	}
+	// Marshalling after revocation creates the door already revoked.
+	remote, err := sctest.Transfer(obj, cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sctest.Get(remote); !errors.Is(err, kernel.ErrRevoked) {
+		t.Fatalf("invoke on late-created revoked door = %v", err)
+	}
+}
+
+func TestUnreferencedAfterAllIdentifiersGone(t *testing.T) {
+	srv, cli := setup(t)
+	ctr := &sctest.Counter{}
+	unref := make(chan struct{})
+	obj := Export(srv, sctest.CounterMT, ctr.Skeleton(), func() { close(unref) })
+	remote, err := sctest.Transfer(obj, cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The local object was consumed by the marshal; only the client
+	// identifier keeps the door alive.
+	if err := remote.Consume(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-unref:
+	case <-time.After(2 * time.Second):
+		t.Fatal("unreferenced never fired after last client identifier died")
+	}
+}
+
+func TestDoubleConsume(t *testing.T) {
+	srv, _ := setup(t)
+	ctr := &sctest.Counter{}
+	obj := Export(srv, sctest.CounterMT, ctr.Skeleton(), nil)
+	if err := obj.Consume(); err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Consume(); !errors.Is(err, core.ErrConsumed) {
+		t.Fatalf("double consume = %v, want ErrConsumed", err)
+	}
+}
+
+func TestSimplexUnmarshalsViaSingletonDefault(t *testing.T) {
+	// The counter type's default subcontract is singleton. Receiving a
+	// simplex-marshalled counter through the generic unmarshal must route
+	// to simplex via the compatible-subcontract protocol.
+	k := kernel.New("m1")
+	srv, err := sctest.NewEnv(k, "server", Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := sctest.NewEnv(k, "client", Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := &sctest.Counter{}
+	obj := Export(srv, sctest.CounterMT, ctr.Skeleton(), nil)
+	remote, err := sctest.Transfer(obj, cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.SC.ID() != SCID {
+		t.Fatalf("subcontract id = %d, want %d", remote.SC.ID(), SCID)
+	}
+}

@@ -1,0 +1,171 @@
+package singleton
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sctest"
+	"repro/internal/stubs"
+)
+
+func setup(t *testing.T) (*kernel.Kernel, *core.Env, *core.Env) {
+	t.Helper()
+	k := kernel.New("m1")
+	srv, err := sctest.NewEnv(k, "server", Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := sctest.NewEnv(k, "client", Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, srv, cli
+}
+
+func TestExportAndLocalInvoke(t *testing.T) {
+	_, srv, _ := setup(t)
+	ctr := &sctest.Counter{}
+	obj, _ := Export(srv, sctest.CounterMT, ctr.Skeleton(), nil)
+
+	if v, err := sctest.Add(obj, 5); err != nil || v != 5 {
+		t.Fatalf("Add = %d, %v", v, err)
+	}
+	if v, err := sctest.Get(obj); err != nil || v != 5 {
+		t.Fatalf("Get = %d, %v", v, err)
+	}
+}
+
+func TestCrossDomainInvoke(t *testing.T) {
+	_, srv, cli := setup(t)
+	ctr := &sctest.Counter{}
+	obj, _ := Export(srv, sctest.CounterMT, ctr.Skeleton(), nil)
+
+	remote, err := sctest.Transfer(obj, cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obj.Consumed() {
+		t.Fatal("marshal did not consume the source object")
+	}
+	if v, err := sctest.Add(remote, 7); err != nil || v != 7 {
+		t.Fatalf("remote Add = %d, %v", v, err)
+	}
+	if remote.SC.Name() != "singleton" {
+		t.Fatalf("remote subcontract = %s", remote.SC.Name())
+	}
+}
+
+func TestRemoteException(t *testing.T) {
+	_, srv, cli := setup(t)
+	ctr := &sctest.Counter{}
+	obj, _ := Export(srv, sctest.CounterMT, ctr.Skeleton(), nil)
+	remote, err := sctest.Transfer(obj, cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sctest.Boom(remote); !stubs.IsRemote(err) {
+		t.Fatalf("Boom = %v, want remote exception", err)
+	}
+}
+
+func TestCopyBothUsable(t *testing.T) {
+	_, srv, cli := setup(t)
+	ctr := &sctest.Counter{}
+	obj, _ := Export(srv, sctest.CounterMT, ctr.Skeleton(), nil)
+	remote, err := sctest.Transfer(obj, cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cp, err := remote.Copy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sctest.Add(remote, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sctest.Add(cp, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := sctest.Get(cp); v != 2 {
+		t.Fatalf("both copies should hit the same state; got %d", v)
+	}
+}
+
+func TestConsumeTriggersUnreferenced(t *testing.T) {
+	_, srv, cli := setup(t)
+	ctr := &sctest.Counter{}
+	unref := make(chan struct{})
+	obj, _ := Export(srv, sctest.CounterMT, ctr.Skeleton(), func() { close(unref) })
+	remote, err := sctest.Transfer(obj, cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := remote.Copy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Consume(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-unref:
+		t.Fatal("unreferenced fired while a copy is alive")
+	case <-time.After(5 * time.Millisecond):
+	}
+	if err := cp.Consume(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-unref:
+	case <-time.After(2 * time.Second):
+		t.Fatal("unreferenced never fired")
+	}
+	if _, err := sctest.Get(remote); !errors.Is(err, core.ErrConsumed) {
+		t.Fatalf("invoke after consume = %v, want ErrConsumed", err)
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	_, srv, cli := setup(t)
+	ctr := &sctest.Counter{}
+	obj, door := Export(srv, sctest.CounterMT, ctr.Skeleton(), nil)
+	remote, err := sctest.Transfer(obj, cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	door.Revoke()
+	if _, err := sctest.Get(remote); !errors.Is(err, kernel.ErrRevoked) {
+		t.Fatalf("invoke after revoke = %v, want kernel.ErrRevoked", err)
+	}
+}
+
+func TestMarshalCopyKeepsOriginal(t *testing.T) {
+	_, srv, cli := setup(t)
+	ctr := &sctest.Counter{}
+	obj, _ := Export(srv, sctest.CounterMT, ctr.Skeleton(), nil)
+	remote, err := sctest.TransferCopy(obj, cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Consumed() {
+		t.Fatal("marshal_copy consumed the original")
+	}
+	if _, err := sctest.Add(obj, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := sctest.Get(remote); err != nil || v != 1 {
+		t.Fatalf("Get via transferred copy = %d, %v", v, err)
+	}
+}
+
+func TestForeignRepRejected(t *testing.T) {
+	_, srv, _ := setup(t)
+	obj := core.NewObject(srv, sctest.CounterMT, SC, "not a door rep")
+	if _, err := sctest.Get(obj); err == nil {
+		t.Fatal("foreign rep accepted")
+	}
+}

@@ -1,0 +1,148 @@
+// Package txnsc implements the transaction subcontract sketched in §8.4:
+// it transfers control information for atomic transactions at the
+// subcontract level.
+//
+// A client domain sets its current transaction in an environment slot; the
+// invoke_preamble piggybacks the transaction identifier on every call. The
+// server-side subcontract code strips it, transparently enlists the server
+// as a participant with the shared coordinator, and hands the identifier
+// to the transactional skeleton. Neither the stubs nor the IDL interfaces
+// mention transactions at all.
+package txnsc
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/stubs"
+	"repro/internal/subcontracts/doorsc"
+	"repro/internal/txn"
+)
+
+// SCID is the transaction subcontract identifier.
+const SCID core.ID = 9
+
+// LibraryName is the simulated dynamic-linker library name (§6.2).
+const LibraryName = "txnsc.so"
+
+// Var is the environment slot holding the domain's current *txn.Txn.
+const Var = "txn.current"
+
+// ops is the client-side vector: door-based plus the transaction preamble.
+type ops struct {
+	doorsc.Ops
+}
+
+// SC is the transaction subcontract.
+var SC core.ClientOps = &ops{Ops: doorsc.Ops{Ident: SCID, SCName: "txn"}}
+
+// Register is the library entry point installing the subcontract.
+func Register(r *core.Registry) error { return r.Register(SC) }
+
+// Unmarshal fabricates objects with the outer (transactional) vector.
+func (o *ops) Unmarshal(env *core.Env, mt *core.MTable, buf *buffer.Buffer) (*core.Object, error) {
+	if obj, handled, err := core.RedispatchUnmarshal(env, mt, buf, SCID); handled {
+		return obj, err
+	}
+	actual, err := core.ReadHeader(buf, SCID)
+	if err != nil {
+		return nil, err
+	}
+	h, err := env.Domain.AdoptFromBuffer(buf)
+	if err != nil {
+		return nil, fmt.Errorf("txnsc: unmarshal: %w", err)
+	}
+	return core.NewObject(env, core.PickMTable(mt, actual), o, doorsc.Rep{H: h}), nil
+}
+
+// Copy duplicates the identifier, keeping the outer vector.
+func (o *ops) Copy(obj *core.Object) (*core.Object, error) {
+	if err := obj.CheckLive(); err != nil {
+		return nil, err
+	}
+	r, ok := obj.Rep.(doorsc.Rep)
+	if !ok {
+		return nil, fmt.Errorf("txnsc: foreign representation %T", obj.Rep)
+	}
+	h, err := obj.Env.Domain.CopyDoor(r.H)
+	if err != nil {
+		return nil, fmt.Errorf("txnsc: copy: %w", err)
+	}
+	return core.NewObject(obj.Env, obj.MT, o, doorsc.Rep{H: h}), nil
+}
+
+// InvokePreamble piggybacks the current transaction identifier (0 when the
+// caller is not in a transaction).
+func (o *ops) InvokePreamble(obj *core.Object, call *core.Call) error {
+	if err := obj.CheckLive(); err != nil {
+		return err
+	}
+	call.Args().WriteUint64(uint64(Current(obj.Env)))
+	return nil
+}
+
+// Current returns the calling domain's current transaction id (0 if none).
+func Current(env *core.Env) txn.ID {
+	if v, ok := env.Get(Var); ok {
+		if t, ok := v.(*txn.Txn); ok && t != nil {
+			return t.ID()
+		}
+	}
+	return 0
+}
+
+// With sets the domain's current transaction; Clear removes it.
+func With(env *core.Env, t *txn.Txn) { env.Set(Var, t) }
+
+// Clear removes the domain's current transaction.
+func Clear(env *core.Env) { env.Set(Var, (*txn.Txn)(nil)) }
+
+// Skeleton is a transaction-aware dispatch table: like stubs.Skeleton but
+// each call carries the transaction it runs in (0 = none).
+type Skeleton interface {
+	DispatchTxn(id txn.ID, op core.OpNum, args, results *buffer.Buffer) error
+}
+
+// SkeletonFunc adapts a function to Skeleton.
+type SkeletonFunc func(id txn.ID, op core.OpNum, args, results *buffer.Buffer) error
+
+// DispatchTxn implements Skeleton.
+func (f SkeletonFunc) DispatchTxn(id txn.ID, op core.OpNum, args, results *buffer.Buffer) error {
+	return f(id, op, args, results)
+}
+
+// Export creates a transactional Spring object in env backed by skel. part
+// is enlisted with coord the first time each transaction touches this
+// server.
+func Export(env *core.Env, mt *core.MTable, skel Skeleton, part txn.Participant, coord *txn.Coordinator, unref func()) (*core.Object, *kernel.Door) {
+	proc := func(req *buffer.Buffer) (*buffer.Buffer, error) {
+		raw, err := req.ReadUint64()
+		if err != nil {
+			return nil, fmt.Errorf("txnsc: missing transaction control: %w", err)
+		}
+		id := txn.ID(raw)
+		reply := buffer.New(128)
+		if id != 0 {
+			t, err := coord.Lookup(id)
+			if err != nil {
+				stubs.WriteException(reply, err.Error())
+				return reply, nil
+			}
+			if err := t.Enlist(part); err != nil {
+				stubs.WriteException(reply, err.Error())
+				return reply, nil
+			}
+		}
+		inner := stubs.SkeletonFunc(func(op core.OpNum, args, results *buffer.Buffer) error {
+			return skel.DispatchTxn(id, op, args, results)
+		})
+		if err := stubs.ServeCall(inner, req, reply); err != nil {
+			return nil, err
+		}
+		return reply, nil
+	}
+	h, door := env.Domain.CreateDoor(proc, unref)
+	return core.NewObject(env, mt, SC, doorsc.Rep{H: h}), door
+}

@@ -1,0 +1,286 @@
+package txnsc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sctest"
+	"repro/internal/stubs"
+	"repro/internal/txn"
+)
+
+// kvStore is a transactional key-value server: puts inside a transaction
+// are staged and only applied at commit.
+type kvStore struct {
+	mu     sync.Mutex
+	data   map[string]string
+	staged map[txn.ID]map[string]string
+	veto   error
+}
+
+func newKV() *kvStore {
+	return &kvStore{data: make(map[string]string), staged: make(map[txn.ID]map[string]string)}
+}
+
+func (s *kvStore) Prepare(id txn.ID) error { s.mu.Lock(); defer s.mu.Unlock(); return s.veto }
+
+func (s *kvStore) Commit(id txn.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range s.staged[id] {
+		s.data[k] = v
+	}
+	delete(s.staged, id)
+}
+
+func (s *kvStore) Abort(id txn.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.staged, id)
+}
+
+// KV operations: 0 get(key) -> (found bool, val string); 1 put(key, val).
+const (
+	opGet core.OpNum = iota
+	opPut
+)
+
+var kvMT = &core.MTable{Type: "txntest.kv", DefaultSC: SCID, Ops: []string{"get", "put"}}
+
+func init() {
+	core.MustRegisterType("txntest.kv", core.ObjectType)
+	core.MustRegisterMTable(kvMT)
+}
+
+func (s *kvStore) skeleton() Skeleton {
+	return SkeletonFunc(func(id txn.ID, op core.OpNum, args, results *buffer.Buffer) error {
+		switch op {
+		case opGet:
+			key, err := args.ReadString()
+			if err != nil {
+				return err
+			}
+			s.mu.Lock()
+			v, ok := s.data[key]
+			if id != 0 {
+				if sv, sok := s.staged[id][key]; sok {
+					v, ok = sv, true
+				}
+			}
+			s.mu.Unlock()
+			results.WriteBool(ok)
+			results.WriteString(v)
+			return nil
+		case opPut:
+			key, err := args.ReadString()
+			if err != nil {
+				return err
+			}
+			val, err := args.ReadString()
+			if err != nil {
+				return err
+			}
+			s.mu.Lock()
+			if id == 0 {
+				s.data[key] = val
+			} else {
+				m := s.staged[id]
+				if m == nil {
+					m = make(map[string]string)
+					s.staged[id] = m
+				}
+				m[key] = val
+			}
+			s.mu.Unlock()
+			return nil
+		default:
+			return stubs.ErrBadOp
+		}
+	})
+}
+
+// Client stubs.
+func kvGet(obj *core.Object, key string) (string, bool, error) {
+	var val string
+	var ok bool
+	err := stubs.Call(obj, opGet,
+		func(b *buffer.Buffer) error { b.WriteString(key); return nil },
+		func(b *buffer.Buffer) error {
+			var err error
+			if ok, err = b.ReadBool(); err != nil {
+				return err
+			}
+			val, err = b.ReadString()
+			return err
+		})
+	return val, ok, err
+}
+
+func kvPut(obj *core.Object, key, val string) error {
+	return stubs.Call(obj, opPut, func(b *buffer.Buffer) error {
+		b.WriteString(key)
+		b.WriteString(val)
+		return nil
+	}, nil)
+}
+
+// world: coordinator, two kv servers, one client.
+type world struct {
+	coord  *txn.Coordinator
+	cli    *core.Env
+	s1, s2 *kvStore
+	o1, o2 *core.Object
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	k := kernel.New("m1")
+	coord := txn.NewCoordinator()
+	w := &world{coord: coord, s1: newKV(), s2: newKV()}
+
+	for i, s := range []*kvStore{w.s1, w.s2} {
+		env, err := sctest.NewEnv(k, "kv", Register)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, _ := Export(env, kvMT, s.skeleton(), s, coord, nil)
+		if i == 0 {
+			w.o1 = obj
+		} else {
+			w.o2 = obj
+		}
+	}
+	cli, err := sctest.NewEnv(k, "client", Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.cli = cli
+	var err2 error
+	if w.o1, err2 = sctest.Transfer(w.o1, cli, kvMT); err2 != nil {
+		t.Fatal(err2)
+	}
+	if w.o2, err2 = sctest.Transfer(w.o2, cli, kvMT); err2 != nil {
+		t.Fatal(err2)
+	}
+	return w
+}
+
+func TestCommitAcrossServers(t *testing.T) {
+	w := newWorld(t)
+	tx := w.coord.Begin()
+	With(w.cli, tx)
+
+	if err := kvPut(w.o1, "x", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := kvPut(w.o2, "y", "2"); err != nil {
+		t.Fatal(err)
+	}
+	// Inside the transaction the writer sees its own staged writes.
+	if v, ok, err := kvGet(w.o1, "x"); err != nil || !ok || v != "1" {
+		t.Fatalf("staged read = %q/%v/%v", v, ok, err)
+	}
+	// Both servers were enlisted transparently.
+	if tx.Participants() != 2 {
+		t.Fatalf("participants = %d, want 2", tx.Participants())
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	Clear(w.cli)
+	if v, ok, _ := kvGet(w.o1, "x"); !ok || v != "1" {
+		t.Fatalf("x after commit = %q/%v", v, ok)
+	}
+	if v, ok, _ := kvGet(w.o2, "y"); !ok || v != "2" {
+		t.Fatalf("y after commit = %q/%v", v, ok)
+	}
+}
+
+func TestAbortDiscards(t *testing.T) {
+	w := newWorld(t)
+	tx := w.coord.Begin()
+	With(w.cli, tx)
+	if err := kvPut(w.o1, "x", "9"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	Clear(w.cli)
+	if _, ok, _ := kvGet(w.o1, "x"); ok {
+		t.Fatal("aborted write visible")
+	}
+}
+
+func TestVetoAtomicity(t *testing.T) {
+	w := newWorld(t)
+	w.s2.veto = errors.New("refusing")
+	tx := w.coord.Begin()
+	With(w.cli, tx)
+	if err := kvPut(w.o1, "x", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := kvPut(w.o2, "y", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, txn.ErrAborted) {
+		t.Fatalf("Commit = %v, want ErrAborted", err)
+	}
+	Clear(w.cli)
+	// Neither server's write survived: atomicity across participants.
+	if _, ok, _ := kvGet(w.o1, "x"); ok {
+		t.Fatal("x visible after vetoed commit")
+	}
+	if _, ok, _ := kvGet(w.o2, "y"); ok {
+		t.Fatal("y visible after vetoed commit")
+	}
+}
+
+func TestNonTransactionalPassThrough(t *testing.T) {
+	w := newWorld(t)
+	if err := kvPut(w.o1, "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := kvGet(w.o1, "k"); !ok || v != "v" {
+		t.Fatalf("direct put lost: %q/%v", v, ok)
+	}
+	if w.coord.Active() != 0 {
+		t.Fatalf("phantom transaction: %d", w.coord.Active())
+	}
+}
+
+func TestIsolationBetweenTransactions(t *testing.T) {
+	w := newWorld(t)
+	tx := w.coord.Begin()
+	With(w.cli, tx)
+	if err := kvPut(w.o1, "x", "staged"); err != nil {
+		t.Fatal(err)
+	}
+	// A non-transactional reader does not see the staged write.
+	Clear(w.cli)
+	if _, ok, _ := kvGet(w.o1, "x"); ok {
+		t.Fatal("staged write leaked to other clients")
+	}
+	With(w.cli, tx)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaleTransactionRejected(t *testing.T) {
+	w := newWorld(t)
+	tx := w.coord.Begin()
+	With(w.cli, tx)
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	// The client still carries the dead transaction: the server-side
+	// subcontract rejects the call with a remote exception.
+	if err := kvPut(w.o1, "x", "1"); !stubs.IsRemote(err) {
+		t.Fatalf("call in dead txn = %v, want remote exception", err)
+	}
+}

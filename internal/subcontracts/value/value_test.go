@@ -1,0 +1,226 @@
+package value
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sctest"
+	"repro/internal/stubs"
+	"repro/internal/subcontracts/singleton"
+)
+
+// The paper's own lightweight-abstraction example (§2.1): a cartesian
+// coordinate pair. State = two float64s; ops: 0 get() -> (x, y);
+// 1 translate(dx, dy).
+const (
+	opGet core.OpNum = iota
+	opTranslate
+)
+
+const pointType core.TypeID = "valuetest.point"
+
+var pointMT = &core.MTable{Type: pointType, DefaultSC: SCID, Ops: []string{"get", "translate"}}
+
+func encodePoint(x, y float64) []byte {
+	p := make([]byte, 16)
+	binary.LittleEndian.PutUint64(p, math.Float64bits(x))
+	binary.LittleEndian.PutUint64(p[8:], math.Float64bits(y))
+	return p
+}
+
+func decodePoint(state []byte) (float64, float64) {
+	return math.Float64frombits(binary.LittleEndian.Uint64(state)),
+		math.Float64frombits(binary.LittleEndian.Uint64(state[8:]))
+}
+
+func init() {
+	core.MustRegisterType(pointType, core.ObjectType)
+	core.MustRegisterMTable(pointMT)
+	RegisterHandler(pointType, HandlerFunc(func(state []byte, op core.OpNum, args, results *buffer.Buffer) ([]byte, error) {
+		x, y := decodePoint(state)
+		switch op {
+		case opGet:
+			results.WriteFloat64(x)
+			results.WriteFloat64(y)
+			return state, nil
+		case opTranslate:
+			dx, err := args.ReadFloat64()
+			if err != nil {
+				return nil, err
+			}
+			dy, err := args.ReadFloat64()
+			if err != nil {
+				return nil, err
+			}
+			return encodePoint(x+dx, y+dy), nil
+		default:
+			return nil, stubs.ErrBadOp
+		}
+	}))
+}
+
+// Client stubs.
+func get(obj *core.Object) (x, y float64, err error) {
+	err = stubs.Call(obj, opGet, nil, func(b *buffer.Buffer) error {
+		var err error
+		if x, err = b.ReadFloat64(); err != nil {
+			return err
+		}
+		y, err = b.ReadFloat64()
+		return err
+	})
+	return x, y, err
+}
+
+func translate(obj *core.Object, dx, dy float64) error {
+	return stubs.Call(obj, opTranslate, func(b *buffer.Buffer) error {
+		b.WriteFloat64(dx)
+		b.WriteFloat64(dy)
+		return nil
+	}, nil)
+}
+
+func setup(t *testing.T) (*core.Env, *core.Env) {
+	t.Helper()
+	k := kernel.New("m1")
+	a, err := sctest.NewEnv(k, "a", Register, singleton.Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sctest.NewEnv(k, "b", Register, singleton.Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestLocalInvoke(t *testing.T) {
+	a, _ := setup(t)
+	p := New(a, pointMT, encodePoint(1, 2))
+	if err := translate(p, 10, 20); err != nil {
+		t.Fatal(err)
+	}
+	x, y, err := get(p)
+	if err != nil || x != 11 || y != 22 {
+		t.Fatalf("get = (%v, %v), %v", x, y, err)
+	}
+}
+
+func TestStateTravelsNoDoors(t *testing.T) {
+	a, b := setup(t)
+	p := New(a, pointMT, encodePoint(3, 4))
+
+	buf := buffer.New(64)
+	if err := p.Marshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	// The real state travels — and nothing else: no door identifiers, no
+	// server anywhere.
+	if buf.DoorCount() != 0 {
+		t.Fatalf("value object marshalled %d doors", buf.DoorCount())
+	}
+	if a.Domain.Kernel().LiveDoors() != 0 {
+		t.Fatalf("value objects created %d kernel doors", a.Domain.Kernel().LiveDoors())
+	}
+	moved, err := core.Unmarshal(b, pointMT, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y, err := get(moved)
+	if err != nil || x != 3 || y != 4 {
+		t.Fatalf("moved point = (%v, %v), %v", x, y, err)
+	}
+	// The source was consumed (an object exists in one place at a time).
+	if _, _, err := get(p); !errors.Is(err, core.ErrConsumed) {
+		t.Fatalf("source after move = %v", err)
+	}
+}
+
+func TestCopiesDiverge(t *testing.T) {
+	a, _ := setup(t)
+	p := New(a, pointMT, encodePoint(0, 0))
+	cp, err := p.Copy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := translate(p, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := translate(cp, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if x, y, _ := get(p); x != 5 || y != 0 {
+		t.Fatalf("original = (%v, %v)", x, y)
+	}
+	if x, y, _ := get(cp); x != 0 || y != 7 {
+		t.Fatalf("copy = (%v, %v); value semantics require divergence", x, y)
+	}
+}
+
+func TestDefaultSingletonReceiverDiscoversValue(t *testing.T) {
+	// A domain expecting the default subcontract routes to value through
+	// the compatible-subcontract protocol, like any other subcontract.
+	a, b := setup(t)
+	p := New(a, pointMT, encodePoint(9, 9))
+	buf := buffer.New(64)
+	if err := p.MarshalCopy(buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.Unmarshal(b, pointMT, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SC.ID() != SCID {
+		t.Fatalf("subcontract = %d", got.SC.ID())
+	}
+	// Both the original and the snapshot work, and independently.
+	if err := translate(p, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if x, _, _ := get(got); x != 9 {
+		t.Fatalf("snapshot mutated with original: x = %v", x)
+	}
+}
+
+func TestUnregisteredTypeFails(t *testing.T) {
+	a, _ := setup(t)
+	core.MustRegisterType("valuetest.orphan", core.ObjectType)
+	orphanMT := &core.MTable{Type: "valuetest.orphan", DefaultSC: SCID}
+	core.MustRegisterMTable(orphanMT)
+	p := New(a, orphanMT, []byte{1})
+	if _, _, err := get(p); err == nil {
+		t.Fatal("invoke without a handler succeeded")
+	}
+}
+
+func TestHandlerErrorIsRemoteStyle(t *testing.T) {
+	a, _ := setup(t)
+	p := New(a, pointMT, encodePoint(0, 0))
+	err := stubs.Call(p, 99, nil, nil)
+	if !stubs.IsRemote(err) {
+		t.Fatalf("bad op = %v, want remote-style exception", err)
+	}
+	// A failed operation leaves the state untouched.
+	if x, y, err := get(p); err != nil || x != 0 || y != 0 {
+		t.Fatalf("state after failed op = (%v, %v), %v", x, y, err)
+	}
+}
+
+func TestStateSnapshot(t *testing.T) {
+	a, _ := setup(t)
+	p := New(a, pointMT, encodePoint(1, 1))
+	s, err := State(p)
+	if err != nil || len(s) != 16 {
+		t.Fatalf("State = %d bytes, %v", len(s), err)
+	}
+	// The snapshot does not alias the live state.
+	s[0] = 0xFF
+	if x, _, _ := get(p); x != 1 {
+		t.Fatalf("snapshot aliased live state: x = %v", x)
+	}
+}

@@ -1,0 +1,258 @@
+package video
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sctest"
+	"repro/internal/stubs"
+)
+
+// Video control interface: 0 info() -> fps; 1 play(); 2 pause().
+const (
+	opInfo core.OpNum = iota
+	opPlay
+	opPause
+)
+
+var videoMT = &core.MTable{Type: "spring.video_stream", DefaultSC: SCID, Ops: []string{"info", "play", "pause"}}
+
+func init() {
+	core.MustRegisterType("spring.video_stream", core.ObjectType)
+	core.MustRegisterMTable(videoMT)
+}
+
+func controlSkeleton(src *Source, fps uint32) stubs.Skeleton {
+	return stubs.SkeletonFunc(func(op core.OpNum, args, results *buffer.Buffer) error {
+		switch op {
+		case opInfo:
+			results.WriteUint32(fps)
+			return nil
+		case opPlay:
+			src.SetPlaying(true)
+			return nil
+		case opPause:
+			src.SetPlaying(false)
+			return nil
+		default:
+			return stubs.ErrBadOp
+		}
+	})
+}
+
+func info(obj *core.Object) (uint32, error) {
+	var fps uint32
+	err := stubs.Call(obj, opInfo, nil, func(b *buffer.Buffer) error {
+		var err error
+		fps, err = b.ReadUint32()
+		return err
+	})
+	return fps, err
+}
+
+func play(obj *core.Object) error  { return stubs.Call(obj, opPlay, nil, nil) }
+func pause(obj *core.Object) error { return stubs.Call(obj, opPause, nil, nil) }
+
+func setup(t *testing.T) (*Source, *core.Object, *core.Env) {
+	t.Helper()
+	k := kernel.New("m1")
+	srv, err := sctest.NewEnv(k, "videoserver", Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := sctest.NewEnv(k, "viewer", Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSource()
+	obj, _ := Export(srv, videoMT, controlSkeleton(src, 30), src, nil)
+	remote, err := sctest.Transfer(obj, cli, videoMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, remote, cli
+}
+
+func TestControlOps(t *testing.T) {
+	src, obj, _ := setup(t)
+	if fps, err := info(obj); err != nil || fps != 30 {
+		t.Fatalf("info = %d, %v", fps, err)
+	}
+	if err := play(obj); err != nil {
+		t.Fatal(err)
+	}
+	if !src.Playing() {
+		t.Fatal("play did not reach source")
+	}
+	if err := pause(obj); err != nil {
+		t.Fatal(err)
+	}
+	if src.Playing() {
+		t.Fatal("pause did not reach source")
+	}
+}
+
+func TestFramesFlow(t *testing.T) {
+	src, obj, _ := setup(t)
+	if src.Attached() != 1 {
+		t.Fatalf("attached = %d, want 1 (unmarshal negotiates the channel)", src.Attached())
+	}
+	if err := play(obj); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		src.PushFrame([]byte(fmt.Sprintf("frame-%d", i)))
+	}
+	for i := 0; i < 5; i++ {
+		f, err := Receive(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("frame-%d", i); string(f.Payload) != want {
+			t.Fatalf("frame %d payload = %q, want %q", i, f.Payload, want)
+		}
+		if f.Seq != uint32(i+1) {
+			t.Fatalf("frame %d seq = %d", i, f.Seq)
+		}
+	}
+	if Lost(obj) != 0 {
+		t.Fatalf("lost = %d on lossless channel", Lost(obj))
+	}
+}
+
+func TestPausedSourceSendsNothing(t *testing.T) {
+	src, obj, _ := setup(t)
+	src.PushFrame([]byte("x")) // paused: dropped at source
+	if err := play(obj); err != nil {
+		t.Fatal(err)
+	}
+	src.PushFrame([]byte("y"))
+	f, err := Receive(obj)
+	if err != nil || string(f.Payload) != "y" {
+		t.Fatalf("first received frame = %q, %v", f.Payload, err)
+	}
+}
+
+func TestLossDetectedBySequenceGaps(t *testing.T) {
+	k := kernel.New("m1")
+	srv, err := sctest.NewEnv(k, "videoserver", Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := sctest.NewEnv(k, "viewer", Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Set(DropVar, 3) // lossy link: every 3rd packet dropped
+	src := NewSource()
+	obj, _ := Export(srv, videoMT, controlSkeleton(src, 30), src, nil)
+	remote, err := sctest.Transfer(obj, cli, videoMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := play(remote); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		src.PushFrame([]byte{byte(i)})
+	}
+	got := 0
+	for got < 6 {
+		if _, err := Receive(remote); err != nil {
+			t.Fatal(err)
+		}
+		got++
+	}
+	// Packets 3, 6 and 9 were dropped; the gap after 9 is invisible until
+	// a later frame arrives, so two losses are detectable here.
+	if lost := Lost(remote); lost != 2 {
+		t.Fatalf("lost = %d, want 2 (seq gaps from the lossy wire)", lost)
+	}
+	src.PushFrame([]byte{10})
+	if _, err := Receive(remote); err != nil {
+		t.Fatal(err)
+	}
+	if lost := Lost(remote); lost != 3 {
+		t.Fatalf("lost after next frame = %d, want 3 (tail gap now visible)", lost)
+	}
+}
+
+func TestTwoViewers(t *testing.T) {
+	src, obj, cli := setup(t)
+	second, err := obj.Copy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cli
+	if src.Attached() != 2 {
+		t.Fatalf("attached = %d, want 2", src.Attached())
+	}
+	if err := play(obj); err != nil {
+		t.Fatal(err)
+	}
+	src.PushFrame([]byte("both"))
+	for i, o := range []*core.Object{obj, second} {
+		f, err := Receive(o)
+		if err != nil || string(f.Payload) != "both" {
+			t.Fatalf("viewer %d: %q, %v", i, f.Payload, err)
+		}
+	}
+}
+
+func TestConsumeDetaches(t *testing.T) {
+	src, obj, _ := setup(t)
+	if err := play(obj); err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Consume(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Receive(obj); !errors.Is(err, ErrDetached) {
+		t.Fatalf("Receive after consume = %v", err)
+	}
+	// The source prunes the closed channel on its next broadcast.
+	src.PushFrame([]byte("z"))
+	if src.Attached() != 0 {
+		t.Fatalf("attached = %d after consume + push", src.Attached())
+	}
+}
+
+func TestMarshalMovesViewpoint(t *testing.T) {
+	k := kernel.New("m1")
+	srv, err := sctest.NewEnv(k, "videoserver", Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliA, err := sctest.NewEnv(k, "viewerA", Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliB, err := sctest.NewEnv(k, "viewerB", Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSource()
+	obj, _ := Export(srv, videoMT, controlSkeleton(src, 30), src, nil)
+	ra, err := sctest.Transfer(obj, cliA, videoMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := sctest.Transfer(ra, cliB, videoMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := play(rb); err != nil {
+		t.Fatal(err)
+	}
+	src.PushFrame([]byte("only-b"))
+	if f, err := Receive(rb); err != nil || string(f.Payload) != "only-b" {
+		t.Fatalf("B: %q, %v", f.Payload, err)
+	}
+	if _, err := Receive(ra); !errors.Is(err, ErrDetached) {
+		t.Fatalf("A after move = %v, want ErrDetached", err)
+	}
+}

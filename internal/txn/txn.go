@@ -1,0 +1,170 @@
+// Package txn implements a miniature atomic-transaction coordinator: the
+// substrate for the transaction subcontract sketched in §8.4 ("transfer
+// control information for atomic transactions at the subcontract level").
+//
+// The coordinator hands out transaction identifiers; servers touched by a
+// transaction are enlisted as participants (the transaction subcontract
+// does this transparently as calls arrive); commit runs a two-phase
+// protocol over the participants.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ID identifies a transaction. 0 means "no transaction".
+type ID uint64
+
+// Participant is a resource manager enlisted in transactions.
+type Participant interface {
+	// Prepare votes on commit; returning an error vetoes it.
+	Prepare(id ID) error
+	// Commit makes the transaction's effects durable.
+	Commit(id ID)
+	// Abort discards the transaction's effects.
+	Abort(id ID)
+}
+
+// Errors returned by transaction operations.
+var (
+	// ErrDone is returned when operating on a finished transaction.
+	ErrDone = errors.New("txn: transaction already finished")
+	// ErrUnknown is returned when looking up an unknown transaction.
+	ErrUnknown = errors.New("txn: unknown transaction")
+	// ErrAborted is returned by Commit when a participant vetoed.
+	ErrAborted = errors.New("txn: aborted")
+)
+
+// Coordinator manages active transactions.
+type Coordinator struct {
+	mu     sync.Mutex
+	next   ID
+	active map[ID]*Txn
+}
+
+// NewCoordinator returns an empty coordinator.
+func NewCoordinator() *Coordinator {
+	return &Coordinator{next: 1, active: make(map[ID]*Txn)}
+}
+
+// Begin starts a transaction.
+func (c *Coordinator) Begin() *Txn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &Txn{coord: c, id: c.next}
+	c.next++
+	c.active[t.id] = t
+	return t
+}
+
+// Lookup finds an active transaction by identifier.
+func (c *Coordinator) Lookup(id ID) (*Txn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.active[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknown, id)
+	}
+	return t, nil
+}
+
+// Active reports the number of in-flight transactions.
+func (c *Coordinator) Active() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.active)
+}
+
+func (c *Coordinator) finish(t *Txn) {
+	c.mu.Lock()
+	delete(c.active, t.id)
+	c.mu.Unlock()
+}
+
+// Txn is one transaction.
+type Txn struct {
+	coord *Coordinator
+	id    ID
+
+	mu    sync.Mutex
+	parts []Participant
+	done  bool
+}
+
+// ID returns the transaction identifier.
+func (t *Txn) ID() ID { return t.id }
+
+// Enlist adds a participant (idempotently).
+func (t *Txn) Enlist(p Participant) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return ErrDone
+	}
+	for _, cur := range t.parts {
+		if cur == p {
+			return nil
+		}
+	}
+	t.parts = append(t.parts, p)
+	return nil
+}
+
+// Participants reports how many participants are enlisted.
+func (t *Txn) Participants() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.parts)
+}
+
+// Commit runs two-phase commit: every participant prepares, then all
+// commit; any veto aborts all and returns ErrAborted wrapping the veto.
+func (t *Txn) Commit() error {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return ErrDone
+	}
+	t.done = true
+	parts := append([]Participant(nil), t.parts...)
+	t.mu.Unlock()
+	defer t.coord.finish(t)
+
+	for i, p := range parts {
+		if err := p.Prepare(t.id); err != nil {
+			for _, q := range parts[:i] {
+				q.Abort(t.id)
+			}
+			// The vetoing participant aborts itself too; it holds the
+			// staged state.
+			p.Abort(t.id)
+			for _, q := range parts[i+1:] {
+				q.Abort(t.id)
+			}
+			return fmt.Errorf("%w: participant %d vetoed: %v", ErrAborted, i, err)
+		}
+	}
+	for _, p := range parts {
+		p.Commit(t.id)
+	}
+	return nil
+}
+
+// Abort discards the transaction at every participant.
+func (t *Txn) Abort() error {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return ErrDone
+	}
+	t.done = true
+	parts := append([]Participant(nil), t.parts...)
+	t.mu.Unlock()
+	defer t.coord.finish(t)
+	for _, p := range parts {
+		p.Abort(t.id)
+	}
+	return nil
+}

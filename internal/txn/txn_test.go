@@ -1,0 +1,137 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// fakePart records protocol events.
+type fakePart struct {
+	mu       sync.Mutex
+	prepares int
+	commits  int
+	aborts   int
+	veto     error
+}
+
+func (p *fakePart) Prepare(id ID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.prepares++
+	return p.veto
+}
+func (p *fakePart) Commit(id ID) { p.mu.Lock(); p.commits++; p.mu.Unlock() }
+func (p *fakePart) Abort(id ID)  { p.mu.Lock(); p.aborts++; p.mu.Unlock() }
+
+func TestCommitTwoPhase(t *testing.T) {
+	c := NewCoordinator()
+	tx := c.Begin()
+	p1, p2 := &fakePart{}, &fakePart{}
+	if err := tx.Enlist(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Enlist(p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range []*fakePart{p1, p2} {
+		if p.prepares != 1 || p.commits != 1 || p.aborts != 0 {
+			t.Fatalf("participant %d: %+v", i, p)
+		}
+	}
+	if c.Active() != 0 {
+		t.Fatalf("active = %d after commit", c.Active())
+	}
+}
+
+func TestVetoAbortsAll(t *testing.T) {
+	c := NewCoordinator()
+	tx := c.Begin()
+	p1 := &fakePart{}
+	p2 := &fakePart{veto: errors.New("disk full")}
+	p3 := &fakePart{}
+	for _, p := range []*fakePart{p1, p2, p3} {
+		if err := tx.Enlist(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrAborted) {
+		t.Fatalf("Commit = %v, want ErrAborted", err)
+	}
+	for i, p := range []*fakePart{p1, p2, p3} {
+		if p.commits != 0 || p.aborts != 1 {
+			t.Fatalf("participant %d: %+v", i, p)
+		}
+	}
+	// p3 never prepared (veto came before it).
+	if p3.prepares != 0 {
+		t.Fatalf("p3 prepared after veto")
+	}
+}
+
+func TestAbort(t *testing.T) {
+	c := NewCoordinator()
+	tx := c.Begin()
+	p := &fakePart{}
+	if err := tx.Enlist(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if p.prepares != 0 || p.aborts != 1 {
+		t.Fatalf("%+v", p)
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrDone) {
+		t.Fatalf("double abort = %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrDone) {
+		t.Fatalf("commit after abort = %v", err)
+	}
+	if err := tx.Enlist(p); !errors.Is(err, ErrDone) {
+		t.Fatalf("enlist after abort = %v", err)
+	}
+}
+
+func TestEnlistIdempotent(t *testing.T) {
+	c := NewCoordinator()
+	tx := c.Begin()
+	p := &fakePart{}
+	for i := 0; i < 3; i++ {
+		if err := tx.Enlist(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tx.Participants() != 1 {
+		t.Fatalf("participants = %d", tx.Participants())
+	}
+}
+
+func TestLookup(t *testing.T) {
+	c := NewCoordinator()
+	tx := c.Begin()
+	got, err := c.Lookup(tx.ID())
+	if err != nil || got != tx {
+		t.Fatalf("Lookup = %v, %v", got, err)
+	}
+	if _, err := c.Lookup(999); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("Lookup(999) = %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lookup(tx.ID()); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("Lookup after commit = %v", err)
+	}
+}
+
+func TestDistinctIDs(t *testing.T) {
+	c := NewCoordinator()
+	a, b := c.Begin(), c.Begin()
+	if a.ID() == b.ID() || a.ID() == 0 || b.ID() == 0 {
+		t.Fatalf("ids = %d, %d", a.ID(), b.ID())
+	}
+}
