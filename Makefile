@@ -1,0 +1,20 @@
+# Verification tiers. tier1 is the build gate; tier2 adds static
+# analysis and the race detector (the scstats fast path and the netd
+# forward/cancel select are the interesting surfaces).
+.PHONY: all tier1 tier2 bench gen
+
+all: tier1 tier2
+
+tier1:
+	go build ./...
+	go test ./...
+
+tier2:
+	go vet ./...
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem
+
+gen:
+	go run ./cmd/idlgen -package filesys -o internal/filesys/gen.go internal/filesys/filesys.idl

@@ -73,6 +73,12 @@ func BenchmarkE13_SpecializedStubs_0B(b *testing.B)   { bench.E13Call("specializ
 func BenchmarkE13_GenericStubs_1KiB(b *testing.B)     { bench.E13Call("generic", 1024)(b) }
 func BenchmarkE13_SpecializedStubs_1KiB(b *testing.B) { bench.E13Call("specialized", 1024)(b) }
 
+// E14 — invocation-context threading overhead on the minimal call.
+func BenchmarkE14_ContextFree_0B(b *testing.B)    { bench.E14Call("bare", 0)(b) }
+func BenchmarkE14_WithDeadline_0B(b *testing.B)   { bench.E14Call("deadline", 0)(b) }
+func BenchmarkE14_FullContext_0B(b *testing.B)    { bench.E14Call("full", 0)(b) }
+func BenchmarkE14_WithDeadline_1KiB(b *testing.B) { bench.E14Call("deadline", 1024)(b) }
+
 // E10 — §6.1/§6.2: compatible-subcontract discovery, cold vs warm.
 func BenchmarkE10_Discovery_Cold(b *testing.B) { bench.E10DiscoveryCold(b) }
 func BenchmarkE10_Discovery_Warm(b *testing.B) { bench.E10DiscoveryWarm(b) }

@@ -28,10 +28,13 @@ import (
 	"repro/internal/subcontracts/caching"
 )
 
-var server = flag.String("server", "127.0.0.1:7040", "springfsd address")
+var (
+	server  = flag.String("server", "127.0.0.1:7040", "springfsd address")
+	timeout = flag.Duration("timeout", 0, "per-call deadline (0 = none); expired calls fail with core.ErrDeadlineExceeded")
+)
 
 func usage() {
-	fmt.Println("usage: fsh [-server addr] <ls | create F | cat F | write F TEXT | stat F | rm F>")
+	fmt.Println("usage: fsh [-server addr] [-timeout d] <ls | create F | cat F | write F TEXT | stat F | rm F>")
 }
 
 func main() {
@@ -92,11 +95,17 @@ func main() {
 		log.Fatalf("connecting to %s: %v", *server, err)
 	}
 	fs := filesys.FileSystem{Obj: fsObj}
+	if *timeout != 0 {
+		fs = fs.With(core.WithTimeout(*timeout))
+	}
 
 	open := func(name string) filesys.File {
 		f, err := fs.Open(name)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *timeout != 0 {
+			f = f.With(core.WithTimeout(*timeout))
 		}
 		return f
 	}

@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	scbench [-quick]
+//	scbench [-quick] [-scstats]
+//
+// -scstats appends the per-subcontract metrics registry (calls, errors,
+// context endings, latency histograms) accumulated over the run.
 package main
 
 import (
@@ -14,10 +17,14 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/scstats"
 	"repro/internal/subcontracts/shm"
 )
 
-var quick = flag.Bool("quick", false, "run shorter benchmarks")
+var (
+	quick = flag.Bool("quick", false, "run shorter benchmarks")
+	stats = flag.Bool("scstats", false, "dump per-subcontract metrics after the run")
+)
 
 // run executes one experiment body under the testing benchmark driver.
 func run(name string, fn func(*testing.B)) testing.BenchmarkResult {
@@ -121,6 +128,19 @@ func main() {
 	run("specialized stubs, 1KiB", bench.E13Call("specialized", 1024))
 	fmt.Printf("  => specialization recovers %.0f ns of the subcontract indirection\n",
 		nsPerOp(gen)-nsPerOp(spec))
+
+	section("E14 invocation-context threading overhead (minimal call)")
+	bare := run("context-free call, 0B", bench.E14Call("bare", 0))
+	dl := run("with deadline, 0B", bench.E14Call("deadline", 0))
+	run("deadline + cancel + trace, 0B", bench.E14Call("full", 0))
+	run("with deadline, 1KiB", bench.E14Call("deadline", 1024))
+	fmt.Printf("  => attaching a deadline adds %.0f ns to a minimal call\n",
+		nsPerOp(dl)-nsPerOp(bare))
+
+	if *stats {
+		fmt.Println("\nper-subcontract metrics (scstats)")
+		fmt.Print(scstats.Text())
+	}
 
 	fmt.Println("\ndone.")
 }

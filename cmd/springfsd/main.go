@@ -23,6 +23,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/naming"
 	"repro/internal/netd"
+	"repro/internal/scstats"
 	"repro/internal/subcontracts/caching"
 )
 
@@ -30,6 +31,7 @@ var (
 	addr     = flag.String("addr", "127.0.0.1:7040", "listen address")
 	flavor   = flag.String("flavor", "plain", "file subcontract flavor: plain | caching")
 	snapshot = flag.String("snapshot", "", "stable-storage file: loaded at start, saved on shutdown")
+	dumpSC   = flag.Bool("scstats", false, "dump per-subcontract metrics on shutdown and on SIGUSR1")
 )
 
 func main() {
@@ -90,8 +92,20 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	if *dumpSC {
+		usr1 := make(chan os.Signal, 1)
+		signal.Notify(usr1, syscall.SIGUSR1)
+		go func() {
+			for range usr1 {
+				fmt.Print(scstats.Text())
+			}
+		}()
+	}
 	<-sig
 	fmt.Println("\nspringfsd: shutting down")
+	if *dumpSC {
+		fmt.Print(scstats.Text())
+	}
 	if *snapshot != "" {
 		if err := svc.Store().SaveFile(*snapshot); err != nil {
 			log.Fatalf("saving snapshot: %v", err)

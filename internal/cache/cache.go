@@ -22,6 +22,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/scstats"
 	"repro/internal/stubs"
 	"repro/internal/subcontracts/singleton"
 )
@@ -46,6 +47,11 @@ func init() {
 	core.MustRegisterType(ManagerType, core.ObjectType)
 	core.MustRegisterMTable(ManagerMT)
 }
+
+// scStats mirrors the manager's hit/miss counters into the caching
+// subcontract's scstats block: the manager is the only layer that knows
+// whether an invocation was served locally.
+var scStats = scstats.For("caching")
 
 // Stats counts cache activity, for the E6 experiment.
 type Stats struct {
@@ -114,10 +120,10 @@ func (m *Manager) lookup(ref kernel.Ref) *entry {
 // register wires a cache door (D2) in front of a server door (D1).
 func (m *Manager) register(d1 kernel.Ref, cacheable, invalidate OpSet) kernel.Ref {
 	e := m.lookup(d1)
-	proc := func(req *buffer.Buffer) (*buffer.Buffer, error) {
-		return m.serve(e, cacheable, invalidate, req)
+	proc := func(req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
+		return m.serve(e, cacheable, invalidate, req, info)
 	}
-	h, _ := m.env.Domain.CreateDoor(proc, nil)
+	h, _ := m.env.Domain.CreateDoorInfo(proc, nil)
 	ref, err := m.env.Domain.RefOf(h)
 	if err != nil {
 		panic(err) // the handle was created on the previous line
@@ -126,8 +132,10 @@ func (m *Manager) register(d1 kernel.Ref, cacheable, invalidate OpSet) kernel.Re
 	return ref
 }
 
-// serve handles one invocation arriving at a cache door.
-func (m *Manager) serve(e *entry, cacheable, invalidate OpSet, req *buffer.Buffer) (*buffer.Buffer, error) {
+// serve handles one invocation arriving at a cache door. The caller's
+// invocation context rides along on forwarded calls, so a deadline set by
+// the client still bounds the server leg of a cache miss.
+func (m *Manager) serve(e *entry, cacheable, invalidate OpSet, req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
 	op, err := req.PeekUint32()
 	if err != nil {
 		return nil, fmt.Errorf("cache: truncated call: %w", err)
@@ -140,12 +148,14 @@ func (m *Manager) serve(e *entry, cacheable, invalidate OpSet, req *buffer.Buffe
 		e.mu.Unlock()
 		if ok {
 			m.count(func(s *Stats) { s.Hits++ })
+			scStats.Hits.Add(1)
 			reply := make([]byte, len(cached))
 			copy(reply, cached)
 			return buffer.FromParts(reply, nil), nil
 		}
 		m.count(func(s *Stats) { s.Misses++ })
-		reply, err := m.env.Domain.Call(e.h, req)
+		scStats.Misses.Add(1)
+		reply, err := m.env.Domain.CallInfo(e.h, req, info)
 		if err != nil {
 			return nil, err
 		}
@@ -164,10 +174,10 @@ func (m *Manager) serve(e *entry, cacheable, invalidate OpSet, req *buffer.Buffe
 		e.mu.Lock()
 		clear(e.replies)
 		e.mu.Unlock()
-		return m.env.Domain.Call(e.h, req)
+		return m.env.Domain.CallInfo(e.h, req, info)
 	default:
 		m.count(func(s *Stats) { s.Forwards++ })
-		return m.env.Domain.Call(e.h, req)
+		return m.env.Domain.CallInfo(e.h, req, info)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/kernel"
@@ -179,6 +180,13 @@ func (o *Object) String() string {
 // write subcontract-level control information into the buffer, or replace
 // the buffer entirely to influence future marshalling (as the
 // shared-memory subcontracts do).
+//
+// Beyond the operation number and argument buffer, a call carries an
+// invocation context (kernel.Info): a deadline, a cancellation channel,
+// and a trace identifier, set through CallOptions. The context is policy,
+// not data — stubs stay semantics-free; subcontracts consult it (bounding
+// failover scans, re-resolve loops and network waits) and the kernel
+// refuses to dispatch a call whose context has already ended.
 type Call struct {
 	Op   OpNum
 	args *buffer.Buffer
@@ -186,18 +194,84 @@ type Call struct {
 	// after the reply has been fully unmarshalled, so the subcontract can
 	// recycle call resources (e.g. return a shared region to its pool).
 	Release func()
+
+	info kernel.Info
 }
 
-// NewCall prepares a call on operation op with a fresh argument buffer.
-func NewCall(op OpNum) *Call {
-	return &Call{Op: op, args: buffer.New(64)}
+// CallOption configures a Call at creation.
+type CallOption func(*Call)
+
+// WithDeadline sets the absolute time after which the call fails with
+// ErrDeadlineExceeded. Every layer inherits it: stubs fail fast, retrying
+// subcontracts bound their scans, and the network door servers ship the
+// remaining budget to the server machine.
+func WithDeadline(t time.Time) CallOption {
+	return func(c *Call) { c.info.Deadline = t }
 }
+
+// WithTimeout is WithDeadline(now+d): a relative budget for the call.
+func WithTimeout(d time.Duration) CallOption {
+	return func(c *Call) { c.info.Deadline = time.Now().Add(d) }
+}
+
+// WithCancel attaches a cancellation channel: closing it makes the call
+// fail with ErrCancelled instead of running (or, across the network,
+// abandons the in-flight wait).
+func WithCancel(ch <-chan struct{}) CallOption {
+	return func(c *Call) { c.info.Cancel = ch }
+}
+
+// WithTrace attaches an opaque trace identifier, propagated unchanged to
+// the server side (0 means untraced).
+func WithTrace(id uint64) CallOption {
+	return func(c *Call) { c.info.Trace = id }
+}
+
+// NewCall prepares a call on operation op with a fresh argument buffer
+// and the invocation context described by opts.
+//
+// The pre-context form NewCall(op) remains valid — generated stubs that
+// predate invocation contexts migrate mechanically, getting a call with
+// no deadline, no cancellation and no trace.
+func NewCall(op OpNum, opts ...CallOption) *Call {
+	c := &Call{Op: op, args: buffer.New(64)}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// NewBareCall is the deprecated pre-context constructor.
+//
+// Deprecated: use NewCall, which accepts the same single argument.
+func NewBareCall(op OpNum) *Call { return NewCall(op) }
 
 // Args returns the buffer arguments are marshalled into.
 func (c *Call) Args() *buffer.Buffer { return c.args }
 
 // SetArgs replaces the argument buffer (invoke_preamble's privilege).
 func (c *Call) SetArgs(b *buffer.Buffer) { c.args = b }
+
+// Info returns the call's invocation context in the kernel's form, for
+// handing to Domain.CallInfo.
+func (c *Call) Info() *kernel.Info { return &c.info }
+
+// Err reports whether the call's context has already ended:
+// ErrCancelled, ErrDeadlineExceeded, or nil. Subcontract retry loops
+// check it between attempts.
+func (c *Call) Err() error { return c.info.Err() }
+
+// Deadline returns the call's deadline; ok is false when none is set.
+func (c *Call) Deadline() (time.Time, bool) {
+	return c.info.Deadline, !c.info.Deadline.IsZero()
+}
+
+// Remaining returns the budget left before the deadline; ok is false when
+// no deadline is set.
+func (c *Call) Remaining() (time.Duration, bool) { return c.info.Remaining() }
+
+// Trace returns the call's trace identifier (0 when untraced).
+func (c *Call) Trace() uint64 { return c.info.Trace }
 
 // Subcontract is the registry's view of a subcontract: identity plus the
 // ability to fabricate an object from a marshalled form. A subcontract's

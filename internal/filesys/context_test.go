@@ -1,0 +1,47 @@
+package filesys
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestGeneratedStubsCarryContext drives the invocation context through the
+// IDL-generated client views: With attaches options that every subsequent
+// call carries, an expired deadline fails fast with the typed error, and
+// the options survive widening to a base interface.
+func TestGeneratedStubsCarryContext(t *testing.T) {
+	m := newMachine(t, "m1")
+	srv := env(t, m.k, "fileserver")
+	cli := m.clientEnv(t, "client")
+	fs := mount(t, NewService(srv), cli)
+
+	// A generous deadline leaves calls working normally.
+	bounded := fs.With(core.WithTimeout(time.Minute), core.WithTrace(0x5151))
+	f, err := bounded.Create("notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Write(0, []byte("ok")); err != nil || n != 2 {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+
+	// An expired deadline fails fast with the typed error — on the derived
+	// view only; the original view is unaffected.
+	dead := fs.With(core.WithDeadline(time.Now().Add(-time.Second)))
+	if _, err := dead.Open("notes"); !errors.Is(err, core.ErrDeadlineExceeded) {
+		t.Fatalf("Open with expired deadline = %v, want ErrDeadlineExceeded", err)
+	}
+	if _, err := fs.Open("notes"); err != nil {
+		t.Fatalf("original view affected by With: %v", err)
+	}
+
+	// Widening keeps the attached context: File's base interface calls
+	// still fail fast under the expired deadline.
+	deadFile := f.With(core.WithDeadline(time.Now().Add(-time.Second)))
+	if _, err := deadFile.Size(); !errors.Is(err, core.ErrDeadlineExceeded) {
+		t.Fatalf("Size with expired deadline = %v, want ErrDeadlineExceeded", err)
+	}
+}

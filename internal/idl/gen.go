@@ -431,13 +431,19 @@ func (g *generator) genInterface(m *Module, i *Interface) error {
 	g.printf("\tcore.MustRegisterMTable(%sMT)\n}\n\n", name)
 
 	// Client wrapper.
-	g.printf("// %s is the client view of %s objects.\n", name, i.QName())
-	g.printf("type %s struct {\n\tObj *core.Object\n}\n\n", name)
+	g.printf("// %s is the client view of %s objects. Opts is the invocation\n", name, i.QName())
+	g.printf("// context attached to every call made through this view; see With.\n")
+	g.printf("type %s struct {\n\tObj *core.Object\n\tOpts []core.CallOption\n}\n\n", name)
 	g.printf("// IsNil reports whether the reference is nil.\n")
 	g.printf("func (c %s) IsNil() bool { return c.Obj == nil }\n\n", name)
+	g.printf("// With returns a view of the same object whose calls carry the given\n")
+	g.printf("// invocation-context options (core.WithDeadline, core.WithCancel,\n")
+	g.printf("// core.WithTrace) in addition to any already attached.\n")
+	g.printf("func (c %s) With(opts ...core.CallOption) %s {\n", name, name)
+	g.printf("\tc.Opts = append(c.Opts[:len(c.Opts):len(c.Opts)], opts...)\n\treturn c\n}\n\n")
 	for _, b := range i.ResolvedBases {
 		g.printf("// As%s widens the reference to its %s base interface.\n", GoName(b.Name), b.QName())
-		g.printf("func (c %s) As%s() %s { return %s{Obj: c.Obj} }\n\n", name, GoName(b.Name), GoName(b.Name), GoName(b.Name))
+		g.printf("func (c %s) As%s() %s { return %s{Obj: c.Obj, Opts: c.Opts} }\n\n", name, GoName(b.Name), GoName(b.Name), GoName(b.Name))
 	}
 	g.printf("// Narrow%s narrows an object to %s, failing if the dynamic type\n// does not support it.\n", name, i.QName())
 	g.printf("func Narrow%s(obj *core.Object) (%s, bool) {\n", name, name)
@@ -522,14 +528,14 @@ func (g *generator) genClientStub(i *Interface, op *Op) {
 		g.printf("// %s invokes the oneway %s operation: server failures are\n// not reported (fire and forget).\n", methodName(op), op.Name)
 		g.printf("func (c %s) %s {\n", name, g.implSig(op))
 		if len(inputs) == 0 {
-			g.printf("\treturn stubs.CallOneway(c.Obj, %s, nil)\n}\n\n", opConst(op.Owner, op))
+			g.printf("\treturn stubs.CallOneway(c.Obj, %s, nil, c.Opts...)\n}\n\n", opConst(op.Owner, op))
 			return
 		}
 		g.printf("\treturn stubs.CallOneway(c.Obj, %s, func(b *buffer.Buffer) error {\n", opConst(op.Owner, op))
 		for _, p := range inputs {
 			g.emitWrite("\t\t", "b", goLocal(p.Name), p.Type, p.Mode != ModeCopy)
 		}
-		g.printf("\t\treturn nil\n\t})\n}\n\n")
+		g.printf("\t\treturn nil\n\t}, c.Opts...)\n}\n\n")
 		return
 	}
 
@@ -557,7 +563,7 @@ func (g *generator) genClientStub(i *Interface, op *Op) {
 	}
 	// Result unmarshalling closure.
 	if op.Ret == nil && len(outputs) == 0 {
-		g.printf("\t\tnil)\n")
+		g.printf("\t\tnil, c.Opts...)\n")
 	} else {
 		g.printf("\t\tfunc(b *buffer.Buffer) error {\n")
 		g.printf("\t\t\tvar err error\n\t\t\t_ = err\n")
@@ -567,7 +573,7 @@ func (g *generator) genClientStub(i *Interface, op *Op) {
 		for k, p := range outputs {
 			g.emitRead("\t\t\t", "b", fmt.Sprintf("out%d", k), "c.Obj.Env", p.Type)
 		}
-		g.printf("\t\t\treturn nil\n\t\t})\n")
+		g.printf("\t\t\treturn nil\n\t\t}, c.Opts...)\n")
 	}
 
 	// Return.

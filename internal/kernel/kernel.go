@@ -55,14 +55,16 @@ type Handle uint64
 
 // ServerProc is the target of a door: the server procedure run when a
 // thread calls the door. It receives the (kernel-transferred) argument
-// buffer and returns a reply buffer.
+// buffer and returns a reply buffer. Targets that want the invocation
+// context (deadline, cancellation, trace) use ServerProcInfo and
+// CreateDoorInfo instead.
 type ServerProc func(req *buffer.Buffer) (*buffer.Buffer, error)
 
 // door is the kernel-side door object.
 type door struct {
 	mu      sync.Mutex
 	owner   *Kernel
-	target  ServerProc
+	target  ServerProcInfo
 	unref   func()
 	refs    int
 	revoked bool
@@ -125,6 +127,14 @@ func (r Ref) Release() {
 
 // call invokes the door's target, failing if the door has been revoked.
 func (r Ref) call(req *buffer.Buffer) (*buffer.Buffer, error) {
+	return r.callInfo(req, nil)
+}
+
+// callInfo invokes the door's target with an invocation context. An
+// already-ended context (expired deadline, closed cancellation channel)
+// fails the call before the target runs, so a dead caller never occupies
+// the server.
+func (r Ref) callInfo(req *buffer.Buffer, info *Info) (*buffer.Buffer, error) {
 	if r.d == nil {
 		return nil, ErrBadHandle
 	}
@@ -135,7 +145,10 @@ func (r Ref) call(req *buffer.Buffer) (*buffer.Buffer, error) {
 	if revoked {
 		return nil, ErrRevoked
 	}
-	return target(req)
+	if err := info.Err(); err != nil {
+		return nil, err
+	}
+	return target(req, info)
 }
 
 // Kernel is one machine's door kernel. Distinct Kernel values model
@@ -226,18 +239,13 @@ func (dr *Door) Refs() int {
 
 // CreateDoor creates a door targeted at proc and installs one identifier
 // for it in d's handle table. unref, if non-nil, is called (in its own
-// goroutine) when the last identifier for the door is deleted.
+// goroutine) when the last identifier for the door is deleted. The target
+// does not see the invocation context; use CreateDoorInfo for targets
+// that propagate deadlines and traces onward.
 func (d *Domain) CreateDoor(proc ServerProc, unref func()) (Handle, *Door) {
-	dd := &door{
-		owner:  d.kernel,
-		target: proc,
-		unref:  unref,
-		refs:   1,
-		id:     d.kernel.nextID.Add(1),
-	}
-	d.kernel.liveDoors.Add(1)
-	h := d.install(Ref{d: dd})
-	return h, &Door{d: dd}
+	return d.CreateDoorInfo(func(req *buffer.Buffer, _ *Info) (*buffer.Buffer, error) {
+		return proc(req)
+	}, unref)
 }
 
 // install assigns a fresh handle for ref. The ref's count was already
@@ -265,7 +273,8 @@ func (d *Domain) lookup(h Handle) (Ref, error) {
 // Call issues a door call on identifier h, transferring req to the door's
 // target and returning the reply. The caller loses ownership of req's door
 // references that the server adopts; the server loses ownership of the
-// reply's door references to the caller.
+// reply's door references to the caller. Context-carrying callers use
+// CallInfo.
 func (d *Domain) Call(h Handle, req *buffer.Buffer) (*buffer.Buffer, error) {
 	r, err := d.lookup(h)
 	if err != nil {

@@ -37,6 +37,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/scstats"
 )
 
 // Errors returned by network door operations. All transport-level failures
@@ -135,6 +136,16 @@ func commErr(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", kernel.ErrCommFailure, fmt.Sprintf(format, args...))
 }
 
+// stats is the network door servers' metrics block: one entry per
+// forwarded call, with deadline/cancellation endings broken out.
+// serveStats meters the other direction — calls arriving off the wire and
+// dispatched into local doors — so a daemon that mostly *serves* still has
+// a live exposition (springfsd -scstats).
+var (
+	stats      = scstats.For("netd")
+	serveStats = scstats.For("netd(serve)")
+)
+
 // ---------------------------------------------------------------------
 // Export / import of door identifiers.
 
@@ -178,11 +189,11 @@ func (s *Server) importDesc(desc descriptor) (kernel.Ref, error) {
 		s.releaseLocked(desc.Key, 1)
 		return ref, nil
 	}
-	proc := func(req *buffer.Buffer) (*buffer.Buffer, error) {
-		return s.forward(desc, req)
+	proc := func(req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
+		return s.forward(desc, req, info)
 	}
 	unref := func() { s.sendRelease(desc, 1) }
-	h, _ := s.dom.CreateDoor(proc, unref)
+	h, _ := s.dom.CreateDoorInfo(proc, unref)
 	ref, err := s.dom.RefOf(h)
 	if err != nil {
 		return kernel.Ref{}, err
@@ -241,8 +252,22 @@ func (s *Server) Exports() int {
 // ---------------------------------------------------------------------
 // Client side: forwarding calls through proxy doors.
 
-// forward executes one door call against a remote descriptor.
-func (s *Server) forward(desc descriptor, req *buffer.Buffer) (*buffer.Buffer, error) {
+// forward executes one door call against a remote descriptor. The
+// invocation context governs the whole leg: an already-ended context
+// aborts before anything is sent, the wire header ships the remaining
+// budget so the server machine inherits it, and the reply wait is bounded
+// by min(s.Timeout, remaining budget) and by the cancellation channel.
+func (s *Server) forward(desc descriptor, req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
+	begin := stats.Begin()
+	reply, err := s.forwardInfo(desc, req, info)
+	stats.End(begin, err)
+	return reply, err
+}
+
+func (s *Server) forwardInfo(desc descriptor, req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
+	if err := info.Err(); err != nil {
+		return nil, err
+	}
 	c, err := s.getConn(desc.Addr)
 	if err != nil {
 		return nil, err
@@ -252,6 +277,7 @@ func (s *Server) forward(desc descriptor, req *buffer.Buffer) (*buffer.Buffer, e
 	reqID, ch := c.register()
 	payload.WriteUint64(reqID)
 	payload.WriteUint64(desc.Key)
+	putInfoHeader(payload, info)
 	if err := s.putWireBuffer(payload, req); err != nil {
 		c.unregister(reqID)
 		return nil, err
@@ -260,14 +286,32 @@ func (s *Server) forward(desc descriptor, req *buffer.Buffer) (*buffer.Buffer, e
 		c.unregister(reqID)
 		return nil, commErr("send to %s: %v", desc.Addr, err)
 	}
+	wait := s.Timeout
+	deadlineBounded := false
+	if rem, ok := info.Remaining(); ok && rem < wait {
+		wait = rem
+		deadlineBounded = true
+	}
+	var cancel <-chan struct{}
+	if info != nil {
+		cancel = info.Cancel
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
 	select {
 	case reply, ok := <-ch:
 		if !ok {
 			return nil, commErr("connection to %s lost", desc.Addr)
 		}
 		return s.parseReply(reply, desc)
-	case <-time.After(s.Timeout):
+	case <-cancel:
 		c.unregister(reqID)
+		return nil, fmt.Errorf("netd: call to %s: %w", desc.Addr, kernel.ErrCancelled)
+	case <-timer.C:
+		c.unregister(reqID)
+		if deadlineBounded {
+			return nil, fmt.Errorf("netd: call to %s: %w", desc.Addr, kernel.ErrDeadlineExceeded)
+		}
 		return nil, commErr("call to %s timed out after %v", desc.Addr, s.Timeout)
 	}
 }
@@ -285,6 +329,10 @@ func (s *Server) parseReply(reply *buffer.Buffer, desc descriptor) (*buffer.Buff
 		return nil, fmt.Errorf("netd: remote door %s/%d: %w", desc.Addr, desc.Key, kernel.ErrRevoked)
 	case codeBadKey:
 		return nil, fmt.Errorf("netd: remote door %s/%d: %w", desc.Addr, desc.Key, kernel.ErrBadHandle)
+	case codeDeadline:
+		return nil, fmt.Errorf("netd: remote door %s/%d: %w", desc.Addr, desc.Key, kernel.ErrDeadlineExceeded)
+	case codeCancelled:
+		return nil, fmt.Errorf("netd: remote door %s/%d: %w", desc.Addr, desc.Key, kernel.ErrCancelled)
 	default:
 		msg, _ := reply.ReadString()
 		return nil, fmt.Errorf("netd: remote call failed: %s", msg)
@@ -386,12 +434,17 @@ func (s *Server) serveConn(c *conn, addr string) {
 			if err1 != nil || err2 != nil {
 				continue
 			}
+			info, err := getInfoHeader(in)
+			if err != nil {
+				s.reply(c, reqID, codeError, nil, err.Error())
+				continue
+			}
 			req, err := s.getWireBuffer(in)
 			if err != nil {
 				s.reply(c, reqID, codeError, nil, err.Error())
 				continue
 			}
-			go s.handleCall(c, reqID, key, req)
+			go s.handleCall(c, reqID, key, req, info)
 		case msgRelease:
 			key, err1 := in.ReadUint64()
 			count, err2 := in.ReadUvarint()
@@ -423,8 +476,12 @@ func (s *Server) serveConn(c *conn, addr string) {
 	_ = c.netc.Close()
 }
 
-// handleCall executes an incoming forwarded door call.
-func (s *Server) handleCall(c *conn, reqID, key uint64, req *buffer.Buffer) {
+// handleCall executes an incoming forwarded door call under the context
+// reconstructed from the wire header, so the exported door sees the
+// caller's remaining budget and trace exactly as a local caller's would
+// look. (The caller-side cancellation channel cannot cross the wire; a
+// cancelled caller simply abandons the reply.)
+func (s *Server) handleCall(c *conn, reqID, key uint64, req *buffer.Buffer, info *kernel.Info) {
 	s.mu.Lock()
 	e, ok := s.exports[key]
 	var h kernel.Handle
@@ -437,10 +494,16 @@ func (s *Server) handleCall(c *conn, reqID, key uint64, req *buffer.Buffer) {
 		s.reply(c, reqID, codeBadKey, nil, "")
 		return
 	}
-	out, err := s.dom.Call(h, req)
+	start := serveStats.Begin()
+	out, err := s.dom.CallInfo(h, req, info)
+	serveStats.End(start, err)
 	switch {
 	case err == nil:
 		s.reply(c, reqID, codeOK, out, "")
+	case errors.Is(err, kernel.ErrDeadlineExceeded):
+		s.reply(c, reqID, codeDeadline, nil, "")
+	case errors.Is(err, kernel.ErrCancelled):
+		s.reply(c, reqID, codeCancelled, nil, "")
 	case errors.Is(err, kernel.ErrRevoked):
 		s.reply(c, reqID, codeRevoked, nil, "")
 	case errors.Is(err, kernel.ErrBadHandle):

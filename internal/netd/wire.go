@@ -5,17 +5,29 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 
 	"repro/internal/buffer"
+	"repro/internal/kernel"
 )
 
 // Wire protocol. Every message is a length-prefixed frame:
 //
 //	frame:   [len u32] [payload]
-//	call:    [msgCall u8]    [reqID u64] [key u64] [wirebuf]
+//	call:    [msgCall u8]    [reqID u64] [key u64] [ctx] [wirebuf]
 //	reply:   [msgReply u8]   [reqID u64] [code u8] [wirebuf | errstring]
 //	release: [msgRelease u8] [key u64] [count uvarint]
 //	root:    [msgRoot u8]    [reqID u64] [name string]   (replied with msgReply)
+//
+// ctx is the invocation-context header: one flags byte, then the
+// remaining deadline budget and the trace identifier, each present only
+// when its flag bit is set — a context-free call pays a single zero byte.
+// The deadline crosses the wire as a relative budget in nanoseconds, not
+// an absolute time, so unsynchronized machine clocks cannot corrupt it;
+// the receiving side rebases it onto its own clock (network transit time
+// is charged to the caller's budget, which is the conservative choice).
+//
+//	ctx: [flags u8] [budget uvarint, ns]? [trace u64]?
 //
 // wirebuf is a flattened communication buffer: the byte stream followed by
 // the door descriptors, in the FIFO order the doors were written:
@@ -34,12 +46,74 @@ const (
 
 // Reply codes, classifying the outcome of a forwarded door call so the
 // importing side can surface the same error class a local door would.
+// codeDeadline and codeCancelled carry the context endings back as their
+// typed errors: a deadline that expires on the server machine must look
+// identical to one that expires locally.
 const (
-	codeOK      = 0
-	codeRevoked = 1
-	codeBadKey  = 2
-	codeError   = 3
+	codeOK        = 0
+	codeRevoked   = 1
+	codeBadKey    = 2
+	codeError     = 3
+	codeDeadline  = 4
+	codeCancelled = 5
 )
+
+// ctx header flag bits.
+const (
+	ctxHasDeadline = 1 << 0
+	ctxHasTrace    = 1 << 1
+)
+
+// putInfoHeader writes the invocation-context header for info.
+func putInfoHeader(out *buffer.Buffer, info *kernel.Info) {
+	var flags byte
+	var budget time.Duration
+	if info != nil {
+		if rem, ok := info.Remaining(); ok {
+			flags |= ctxHasDeadline
+			if rem < 0 {
+				rem = 0
+			}
+			budget = rem
+		}
+		if info.Trace != 0 {
+			flags |= ctxHasTrace
+		}
+	}
+	out.WriteByte(flags)
+	if flags&ctxHasDeadline != 0 {
+		out.WriteUvarint(uint64(budget))
+	}
+	if flags&ctxHasTrace != 0 {
+		out.WriteUint64(info.Trace)
+	}
+}
+
+// getInfoHeader reads the invocation-context header, rebasing the budget
+// onto this machine's clock. It returns nil for a context-free call.
+func getInfoHeader(in *buffer.Buffer) (*kernel.Info, error) {
+	flags, err := in.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if flags == 0 {
+		return nil, nil
+	}
+	info := &kernel.Info{}
+	if flags&ctxHasDeadline != 0 {
+		budget, err := in.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		info.Deadline = time.Now().Add(time.Duration(budget))
+	}
+	if flags&ctxHasTrace != 0 {
+		if info.Trace, err = in.ReadUint64(); err != nil {
+			return nil, err
+		}
+	}
+	return info, nil
+}
 
 // maxFrame bounds a frame's size as a defence against corrupt peers.
 const maxFrame = 64 << 20

@@ -1,0 +1,31 @@
+package scstats
+
+import (
+	"errors"
+
+	"repro/internal/kernel"
+)
+
+// ending distinguishes the context endings (core/errors.go taxonomy) from
+// every other failure, for the DeadlineExceeded/Cancelled breakout.
+type ending int
+
+const (
+	endedOther ending = iota
+	endedDeadline
+	endedCancelled
+)
+
+func classify(err error) ending {
+	// The kernel sentinels are the canonical values (core aliases them),
+	// so classifying against kernel keeps scstats importable from every
+	// layer, including kernel-adjacent ones.
+	switch {
+	case errors.Is(err, kernel.ErrDeadlineExceeded):
+		return endedDeadline
+	case errors.Is(err, kernel.ErrCancelled):
+		return endedCancelled
+	default:
+		return endedOther
+	}
+}

@@ -1,0 +1,317 @@
+// Package scstats is the per-subcontract metrics registry: every
+// subcontract's client-side ops vector reports its calls, failures and
+// recovery actions here, and operators read the aggregate back as text
+// (cmd/scbench -scstats, cmd/springfsd -scstats).
+//
+// The design is dictated by the minimal-call path budget (≤30 ns over the
+// bare singleton call, see bench E14):
+//
+//   - A Stats is a flat struct of atomic counters. Recording a call is one
+//     atomic add plus, for a sampled subset, two time.Now reads and a
+//     histogram-bucket add. No locks, no maps, no interface dispatch on the
+//     hot path.
+//   - Subcontracts intern their Stats once (For in a package var or an ops
+//     constructor) rather than looking the name up per call; For takes the
+//     registry lock only on first use of a name.
+//   - Latency is sampled 1-in-sampleEvery calls, using the call counter
+//     itself as the sampling clock — deterministic, allocation-free, and
+//     the first call of a run is always sampled so short test runs still
+//     produce nonzero latency data.
+//
+// Counters deliberately mirror the failure taxonomy in core/errors.go:
+// Errors counts all failed invokes, with DeadlineExceeded and Cancelled
+// broken out because they end retry loops, and Retries/Failovers/
+// Reconnects counting the recovery actions the retry-safe class permits.
+package scstats
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// sampleEvery is the latency sampling period: call n has its latency
+// measured when n % sampleEvery == 0. The counter is incremented before
+// the check, so the first call (n=1 → pre-increment 0) is sampled.
+const sampleEvery = 8
+
+// nBuckets is the number of power-of-two latency buckets. Bucket i holds
+// samples with latency in [2^i, 2^(i+1)) nanoseconds; the last bucket is
+// unbounded. 2^31 ns ≈ 2.1 s, so the range covers sub-microsecond door
+// calls through multi-second network timeouts.
+const nBuckets = 32
+
+// Stats is one subcontract's counter block. All fields are manipulated
+// atomically; a Stats must not be copied after first use.
+type Stats struct {
+	name string
+
+	// Calls counts invocations started (Invoke entered), Errors those
+	// that returned non-nil.
+	Calls  atomic.Uint64
+	Errors atomic.Uint64
+
+	// DeadlineExceeded and Cancelled break out the context endings from
+	// Errors: budget spent vs. caller abandoned.
+	DeadlineExceeded atomic.Uint64
+	Cancelled        atomic.Uint64
+
+	// Recovery actions taken on retry-safe failures: Retries counts
+	// re-issued calls of any kind, Failovers replica switches (replicon),
+	// Reconnects re-resolutions of a broken binding (reconnectable).
+	Retries    atomic.Uint64
+	Failovers  atomic.Uint64
+	Reconnects atomic.Uint64
+
+	// Hits and Misses are for caching subcontracts: calls satisfied
+	// locally vs. forwarded to the backing object.
+	Hits   atomic.Uint64
+	Misses atomic.Uint64
+
+	// Latency histogram over sampled calls: samples[i] counts sampled
+	// calls whose wall time fell in bucket i, latencySum/latencyCount the
+	// total over all samples (for the mean).
+	samples      [nBuckets]atomic.Uint64
+	latencySum   atomic.Uint64 // nanoseconds
+	latencyCount atomic.Uint64
+}
+
+// Name returns the subcontract name this block was interned under.
+func (s *Stats) Name() string { return s.name }
+
+// Begin records the start of an invocation and returns the value to pass
+// to End. For unsampled calls it does one atomic add and returns 0; for
+// sampled calls it also reads the clock.
+func (s *Stats) Begin() (start int64) {
+	if s == nil {
+		return 0
+	}
+	n := s.Calls.Add(1)
+	if (n-1)%sampleEvery == 0 {
+		return time.Now().UnixNano()
+	}
+	return 0
+}
+
+// End records the completion of an invocation begun at start (the Begin
+// return value) with outcome err. It classifies the error and, when the
+// call was sampled (start != 0), records its latency.
+func (s *Stats) End(start int64, err error) {
+	if s == nil {
+		return
+	}
+	if start != 0 {
+		s.RecordLatency(time.Duration(time.Now().UnixNano() - start))
+	}
+	if err != nil {
+		s.Error(err)
+	}
+}
+
+// FailFast records an invocation rejected before it reached the
+// subcontract's invoke path — an already-ended context caught at the stub
+// layer. The attempt counts as a call and the ending is classified, but no
+// latency is sampled: the rejection's cost says nothing about the
+// subcontract's dispatch path.
+func (s *Stats) FailFast(err error) {
+	if s == nil {
+		return
+	}
+	s.Calls.Add(1)
+	s.Error(err)
+}
+
+// Error classifies and counts a failed invocation without touching the
+// latency histogram. End calls it; subcontracts with bespoke accounting
+// may call it directly.
+func (s *Stats) Error(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.Errors.Add(1)
+	switch classify(err) {
+	case endedDeadline:
+		s.DeadlineExceeded.Add(1)
+	case endedCancelled:
+		s.Cancelled.Add(1)
+	}
+}
+
+// RecordLatency adds one latency sample to the histogram.
+func (s *Stats) RecordLatency(d time.Duration) {
+	if s == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	b := bucketOf(uint64(ns))
+	s.samples[b].Add(1)
+	s.latencySum.Add(uint64(ns))
+	s.latencyCount.Add(1)
+}
+
+// bucketOf maps a nanosecond latency to its power-of-two bucket index.
+func bucketOf(ns uint64) int {
+	if ns == 0 {
+		return 0
+	}
+	b := bits.Len64(ns) - 1
+	if b >= nBuckets {
+		b = nBuckets - 1
+	}
+	return b
+}
+
+// Snapshot is a consistent-enough copy of one Stats block for exposition
+// (individual counters are read atomically; the set is not a transaction).
+type Snapshot struct {
+	Name             string
+	Calls            uint64
+	Errors           uint64
+	DeadlineExceeded uint64
+	Cancelled        uint64
+	Retries          uint64
+	Failovers        uint64
+	Reconnects       uint64
+	Hits             uint64
+	Misses           uint64
+
+	LatencySamples uint64
+	LatencyMean    time.Duration
+	// Buckets[i] counts sampled calls in [2^i, 2^(i+1)) ns.
+	Buckets [nBuckets]uint64
+}
+
+func (s *Stats) snapshot() Snapshot {
+	sn := Snapshot{
+		Name:             s.name,
+		Calls:            s.Calls.Load(),
+		Errors:           s.Errors.Load(),
+		DeadlineExceeded: s.DeadlineExceeded.Load(),
+		Cancelled:        s.Cancelled.Load(),
+		Retries:          s.Retries.Load(),
+		Failovers:        s.Failovers.Load(),
+		Reconnects:       s.Reconnects.Load(),
+		Hits:             s.Hits.Load(),
+		Misses:           s.Misses.Load(),
+		LatencySamples:   s.latencyCount.Load(),
+	}
+	if sn.LatencySamples > 0 {
+		sn.LatencyMean = time.Duration(s.latencySum.Load() / sn.LatencySamples)
+	}
+	for i := range s.samples {
+		sn.Buckets[i] = s.samples[i].Load()
+	}
+	return sn
+}
+
+// The process-wide registry. A sync.Map keeps For lock-free after a name's
+// first interning.
+var registry sync.Map // string -> *Stats
+
+// For interns and returns the Stats block for the named subcontract.
+// Callers cache the pointer (package var or ops-vector field) so the hot
+// path never consults the registry.
+func For(name string) *Stats {
+	if v, ok := registry.Load(name); ok {
+		return v.(*Stats)
+	}
+	v, _ := registry.LoadOrStore(name, &Stats{name: name})
+	return v.(*Stats)
+}
+
+// Snapshots returns a snapshot of every interned subcontract, sorted by
+// name, omitting blocks that never saw a call or sample.
+func Snapshots() []Snapshot {
+	var out []Snapshot
+	registry.Range(func(_, v any) bool {
+		sn := v.(*Stats).snapshot()
+		if sn.Calls != 0 || sn.LatencySamples != 0 {
+			out = append(out, sn)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Reset zeroes every interned counter block. Intended for tests and for
+// benchmark harnesses that report per-phase deltas; the blocks themselves
+// stay interned so cached pointers remain valid.
+func Reset() {
+	registry.Range(func(_, v any) bool {
+		s := v.(*Stats)
+		s.Calls.Store(0)
+		s.Errors.Store(0)
+		s.DeadlineExceeded.Store(0)
+		s.Cancelled.Store(0)
+		s.Retries.Store(0)
+		s.Failovers.Store(0)
+		s.Reconnects.Store(0)
+		s.Hits.Store(0)
+		s.Misses.Store(0)
+		for i := range s.samples {
+			s.samples[i].Store(0)
+		}
+		s.latencySum.Store(0)
+		s.latencyCount.Store(0)
+		return true
+	})
+}
+
+// WriteText writes the registry in a aligned human-readable table, one
+// subcontract per stanza: the counter line, then a sparse histogram line
+// listing only occupied buckets.
+func WriteText(w io.Writer) error {
+	sns := Snapshots()
+	if len(sns) == 0 {
+		_, err := fmt.Fprintln(w, "scstats: no subcontract calls recorded")
+		return err
+	}
+	for _, sn := range sns {
+		if _, err := fmt.Fprintf(w,
+			"%-14s calls=%d errors=%d deadline=%d cancelled=%d retries=%d failovers=%d reconnects=%d hits=%d misses=%d\n",
+			sn.Name, sn.Calls, sn.Errors, sn.DeadlineExceeded, sn.Cancelled,
+			sn.Retries, sn.Failovers, sn.Reconnects, sn.Hits, sn.Misses); err != nil {
+			return err
+		}
+		if sn.LatencySamples == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%-14s latency mean=%v samples=%d", "", sn.LatencyMean, sn.LatencySamples); err != nil {
+			return err
+		}
+		for i, c := range sn.Buckets {
+			if c == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, " [%v,%v)=%d", time.Duration(uint64(1)<<i), time.Duration(uint64(2)<<i), c); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Text returns WriteText's output as a string.
+func Text() string {
+	var b textBuilder
+	_ = WriteText(&b)
+	return string(b)
+}
+
+type textBuilder []byte
+
+func (b *textBuilder) Write(p []byte) (int, error) {
+	*b = append(*b, p...)
+	return len(p), nil
+}

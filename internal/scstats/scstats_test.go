@@ -1,0 +1,142 @@
+package scstats
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+)
+
+func TestForInternsOnce(t *testing.T) {
+	Reset()
+	a := For("interntest")
+	b := For("interntest")
+	if a != b {
+		t.Fatalf("For returned distinct blocks for the same name")
+	}
+	if a.Name() != "interntest" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+}
+
+func TestBeginEndCountsAndSamples(t *testing.T) {
+	Reset()
+	s := For("beginend")
+	for i := 0; i < 2*sampleEvery; i++ {
+		start := s.Begin()
+		// Call 0 and call sampleEvery are sampled.
+		if (i%sampleEvery == 0) != (start != 0) {
+			t.Fatalf("call %d: sampled=%v, want %v", i, start != 0, i%sampleEvery == 0)
+		}
+		s.End(start, nil)
+	}
+	sn := s.snapshot()
+	if sn.Calls != 2*sampleEvery {
+		t.Fatalf("Calls = %d, want %d", sn.Calls, 2*sampleEvery)
+	}
+	if sn.LatencySamples != 2 {
+		t.Fatalf("LatencySamples = %d, want 2", sn.LatencySamples)
+	}
+	if sn.Errors != 0 {
+		t.Fatalf("Errors = %d, want 0", sn.Errors)
+	}
+}
+
+func TestFirstCallIsSampled(t *testing.T) {
+	Reset()
+	s := For("firstcall")
+	start := s.Begin()
+	if start == 0 {
+		t.Fatalf("first call not sampled")
+	}
+	s.End(start, nil)
+	if sn := s.snapshot(); sn.LatencySamples != 1 {
+		t.Fatalf("LatencySamples = %d, want 1", sn.LatencySamples)
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	Reset()
+	s := For("classify")
+	wrap := func(err error) error { return errors.Join(errors.New("layer"), err) }
+	s.End(0, kernel.ErrDeadlineExceeded)
+	s.End(0, wrap(kernel.ErrCancelled))
+	s.End(0, errors.New("boom"))
+	sn := s.snapshot()
+	if sn.Errors != 3 || sn.DeadlineExceeded != 1 || sn.Cancelled != 1 {
+		t.Fatalf("errors=%d deadline=%d cancelled=%d, want 3/1/1",
+			sn.Errors, sn.DeadlineExceeded, sn.Cancelled)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		ns   uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {1023, 9}, {1024, 10},
+		{1 << 40, nBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestTextExposition(t *testing.T) {
+	Reset()
+	s := For("textsc")
+	s.End(s.Begin(), nil)
+	s.Hits.Add(3)
+	s.RecordLatency(5 * time.Microsecond)
+	txt := Text()
+	if !strings.Contains(txt, "textsc") {
+		t.Fatalf("exposition missing subcontract name:\n%s", txt)
+	}
+	if !strings.Contains(txt, "calls=1") || !strings.Contains(txt, "hits=3") {
+		t.Fatalf("exposition missing counters:\n%s", txt)
+	}
+	if !strings.Contains(txt, "latency mean=") {
+		t.Fatalf("exposition missing latency line:\n%s", txt)
+	}
+}
+
+func TestSnapshotsOmitIdle(t *testing.T) {
+	Reset()
+	For("idle-block")
+	for _, sn := range Snapshots() {
+		if sn.Name == "idle-block" {
+			t.Fatalf("idle block present in snapshots")
+		}
+	}
+}
+
+func TestNilStatsSafe(t *testing.T) {
+	var s *Stats
+	s.End(s.Begin(), errors.New("x"))
+	s.Error(nil)
+	s.RecordLatency(time.Second)
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	Reset()
+	s := For("race")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.End(s.Begin(), nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Calls.Load(); got != 8000 {
+		t.Fatalf("Calls = %d, want 8000", got)
+	}
+}

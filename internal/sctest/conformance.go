@@ -3,6 +3,7 @@ package sctest
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/core"
@@ -51,6 +52,10 @@ func (c Conformance) Run(t *testing.T) {
 	t.Run(c.Name+"/retransfer", c.testRetransfer)
 	t.Run(c.Name+"/compatible-unmarshal", c.testCompatibleUnmarshal)
 	t.Run(c.Name+"/nil-reference", c.testNilReference)
+	t.Run(c.Name+"/expired-deadline", c.testExpiredDeadline)
+	t.Run(c.Name+"/cancelled", c.testCancelled)
+	t.Run(c.Name+"/deadline-no-door-leak", c.testDeadlineNoDoorLeak)
+	t.Run(c.Name+"/deadline-after-success", c.testDeadlineAfterSuccess)
 }
 
 // world builds the standard two-domain fixture.
@@ -216,6 +221,110 @@ func (c Conformance) testCompatibleUnmarshal(t *testing.T) {
 	}
 	if remote.SC.ID() != want {
 		t.Fatalf("unmarshalled with subcontract %d, want %d", remote.SC.ID(), want)
+	}
+}
+
+// testExpiredDeadline: a call whose deadline has already passed must fail
+// fast with core.ErrDeadlineExceeded — before reaching the server
+// application — whatever policy the subcontract implements (§5: the
+// invocation context is framework contract, not subcontract policy).
+func (c Conformance) testExpiredDeadline(t *testing.T) {
+	_, cli, obj, ctr := c.world(t)
+	remote, err := Transfer(obj, cli, CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ctr.Calls()
+	start := time.Now()
+	_, err = Get(remote, core.WithDeadline(time.Now().Add(-time.Second)))
+	elapsed := time.Since(start)
+	if !errors.Is(err, core.ErrDeadlineExceeded) {
+		t.Fatalf("expired-deadline call = %v, want ErrDeadlineExceeded", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("expired-deadline call took %v, want fast failure", elapsed)
+	}
+	if ctr.Calls() != before {
+		t.Fatal("expired-deadline call reached the server application")
+	}
+	if core.Retryable(err) {
+		t.Fatal("deadline ending classified as retryable")
+	}
+	// The object survives the context ending: a later healthy call works.
+	if _, err := Get(remote); err != nil {
+		t.Fatalf("object dead after deadline ending: %v", err)
+	}
+}
+
+// testCancelled: a call abandoned through its cancellation channel fails
+// with core.ErrCancelled without reaching the server.
+func (c Conformance) testCancelled(t *testing.T) {
+	_, cli, obj, ctr := c.world(t)
+	remote, err := Transfer(obj, cli, CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled := make(chan struct{})
+	close(cancelled)
+	before := ctr.Calls()
+	if _, err := Get(remote, core.WithCancel(cancelled)); !errors.Is(err, core.ErrCancelled) {
+		t.Fatalf("cancelled call = %v, want ErrCancelled", err)
+	}
+	if ctr.Calls() != before {
+		t.Fatal("cancelled call reached the server application")
+	}
+	if _, err := Get(remote); err != nil {
+		t.Fatalf("object dead after cancellation: %v", err)
+	}
+}
+
+// testDeadlineNoDoorLeak: calls that end through their context must not
+// leak door references — the kernel's live door count after a burst of
+// expired and cancelled calls equals the count before it (the fixture's
+// own doors — naming bindings, cache managers — are part of the baseline).
+func (c Conformance) testDeadlineNoDoorLeak(t *testing.T) {
+	k := c.kernelFor(t)
+	srv := c.NewEnv(t, k, "server")
+	cli := c.NewEnv(t, k, "client")
+	obj, _ := c.Export(t, srv)
+	remote, err := Transfer(obj, cli, CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled := make(chan struct{})
+	close(cancelled)
+	baseline := k.LiveDoors()
+	for i := 0; i < 8; i++ {
+		if _, err := Get(remote, core.WithDeadline(time.Now().Add(-time.Second))); !errors.Is(err, core.ErrDeadlineExceeded) {
+			t.Fatalf("expired call = %v", err)
+		}
+		if _, err := Get(remote, core.WithCancel(cancelled)); !errors.Is(err, core.ErrCancelled) {
+			t.Fatalf("cancelled call = %v", err)
+		}
+	}
+	if got := k.LiveDoors(); got != baseline {
+		t.Fatalf("context-ended calls leaked doors: %d live, baseline %d", got, baseline)
+	}
+	// The object is still healthy and consumable afterwards.
+	if _, err := Get(remote); err != nil {
+		t.Fatalf("object dead after context-ended burst: %v", err)
+	}
+	if err := remote.Consume(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testDeadlineAfterSuccess: a generous deadline does not disturb a healthy
+// call — the context is pure policy, invisible when unexercised.
+func (c Conformance) testDeadlineAfterSuccess(t *testing.T) {
+	_, cli, obj, ctr := c.world(t)
+	remote, err := Transfer(obj, cli, CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ctr.Value()
+	if v, err := Add(remote, 4, core.WithTimeout(time.Minute), core.WithTrace(42)); err != nil || v != before+4 {
+		t.Fatalf("Add under generous deadline = %d, %v", v, err)
 	}
 }
 

@@ -91,19 +91,20 @@ func (c *Counter) Skeleton() stubs.Skeleton {
 	})
 }
 
-// Get is the client stub for get().
-func Get(obj *core.Object) (int64, error) {
+// Get is the client stub for get(). opts attach an invocation context,
+// exactly as generated stubs pass client Opts through.
+func Get(obj *core.Object, opts ...core.CallOption) (int64, error) {
 	var v int64
 	err := stubs.Call(obj, OpGet, nil, func(b *buffer.Buffer) error {
 		var err error
 		v, err = b.ReadInt64()
 		return err
-	})
+	}, opts...)
 	return v, err
 }
 
 // Add is the client stub for add(delta).
-func Add(obj *core.Object, delta int64) (int64, error) {
+func Add(obj *core.Object, delta int64, opts ...core.CallOption) (int64, error) {
 	var v int64
 	err := stubs.Call(obj, OpAdd,
 		func(b *buffer.Buffer) error { b.WriteInt64(delta); return nil },
@@ -111,7 +112,7 @@ func Add(obj *core.Object, delta int64) (int64, error) {
 			var err error
 			v, err = b.ReadInt64()
 			return err
-		})
+		}, opts...)
 	return v, err
 }
 

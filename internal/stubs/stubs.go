@@ -25,6 +25,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/scstats"
 )
 
 // Reply status codes.
@@ -74,11 +75,23 @@ type MarshalFunc func(*buffer.Buffer) error
 //
 // marshalArgs and unmarshalResults may be nil for operations without
 // arguments or results.
-func Call(obj *core.Object, op core.OpNum, marshalArgs, unmarshalResults MarshalFunc) error {
+//
+// opts attach an invocation context (core.WithDeadline, core.WithCancel,
+// core.WithTrace). A call whose context has already ended fails fast —
+// before the preamble runs or any argument is marshalled — with
+// core.ErrDeadlineExceeded or core.ErrCancelled. The stub itself applies
+// no other policy: how the context bounds retries, failover or network
+// waits is entirely the subcontract's business, preserving the
+// stub/subcontract separation.
+func Call(obj *core.Object, op core.OpNum, marshalArgs, unmarshalResults MarshalFunc, opts ...core.CallOption) error {
 	if obj == nil {
 		return core.ErrNilObject
 	}
-	call := core.NewCall(op)
+	call := core.NewCall(op, opts...)
+	if err := call.Err(); err != nil {
+		scstats.For(obj.SC.Name()).FailFast(err)
+		return err
+	}
 	if err := obj.SC.InvokePreamble(obj, call); err != nil {
 		return fmt.Errorf("stubs: invoke_preamble %s op %d: %w", obj.MT.Type, op, err)
 	}
@@ -139,11 +152,15 @@ func DecodeReply(reply *buffer.Buffer, unmarshalResults MarshalFunc) error {
 // subcontract surfaces them synchronously. Any reply content — including
 // a remote exception — is discarded, matching oneway's fire-and-forget
 // contract.
-func CallOneway(obj *core.Object, op core.OpNum, marshalArgs MarshalFunc) error {
+func CallOneway(obj *core.Object, op core.OpNum, marshalArgs MarshalFunc, opts ...core.CallOption) error {
 	if obj == nil {
 		return core.ErrNilObject
 	}
-	call := core.NewCall(op)
+	call := core.NewCall(op, opts...)
+	if err := call.Err(); err != nil {
+		scstats.For(obj.SC.Name()).FailFast(err)
+		return err
+	}
 	if err := obj.SC.InvokePreamble(obj, call); err != nil {
 		return fmt.Errorf("stubs: invoke_preamble %s op %d: %w", obj.MT.Type, op, err)
 	}
@@ -208,12 +225,41 @@ func WriteException(reply *buffer.Buffer, msg string) {
 // An error return means a transport-level failure (malformed request); the
 // door call itself should then fail rather than produce a reply.
 func ServeCall(skel Skeleton, req, reply *buffer.Buffer) error {
+	return ServeCallInfo(skel, req, reply, nil)
+}
+
+// InfoSkeleton is optionally implemented by skeletons (or servers) that
+// want to see the caller's invocation context — typically to inherit the
+// remaining deadline budget into their own outbound calls. Skeletons that
+// don't implement it are dispatched as before; the context stays a
+// subcontract/kernel concern.
+type InfoSkeleton interface {
+	DispatchInfo(op core.OpNum, args, results *buffer.Buffer, info *kernel.Info) error
+}
+
+// ServeCallInfo is ServeCall with the caller's invocation context. If the
+// context has already ended the call is rejected as a remote exception
+// before dispatch (the work would be wasted — the client has given up).
+// Skeletons implementing InfoSkeleton receive the context; others are
+// dispatched through the plain Skeleton interface.
+func ServeCallInfo(skel Skeleton, req, reply *buffer.Buffer, info *kernel.Info) error {
 	op, err := req.ReadUint32()
 	if err != nil {
 		return fmt.Errorf("stubs: truncated call header: %w", err)
 	}
+	if err := info.Err(); err != nil {
+		kernel.ReleaseBufferDoors(req)
+		WriteException(reply, err.Error())
+		return nil
+	}
 	results := buffer.New(64)
-	if err := skel.Dispatch(core.OpNum(op), req, results); err != nil {
+	var derr error
+	if is, ok := skel.(InfoSkeleton); ok {
+		derr = is.DispatchInfo(core.OpNum(op), req, results, info)
+	} else {
+		derr = skel.Dispatch(core.OpNum(op), req, results)
+	}
+	if err := derr; err != nil {
 		kernel.ReleaseBufferDoors(results)
 		reply.WriteByte(statusError)
 		var re *RemoteError

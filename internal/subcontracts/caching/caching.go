@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/naming"
+	"repro/internal/scstats"
 	"repro/internal/stubs"
 	"repro/internal/subcontracts/doorsc"
 )
@@ -41,6 +42,11 @@ const LocalContextVar = "naming.local"
 // ErrNoLocalContext is returned when unmarshalling a caching object in a
 // domain with no machine-local naming context configured.
 var ErrNoLocalContext = errors.New("caching: no machine-local naming context in environment")
+
+// stats is the subcontract's metrics block. The cache manager itself
+// records hits and misses into it (see internal/cache), since only the
+// manager knows whether a call was served locally.
+var stats = scstats.For("caching")
 
 // Rep is the representation: server door D1, cache door D2, the cache
 // manager name, and the operation sets that travel with the object.
@@ -184,6 +190,13 @@ func (ops) InvokePreamble(obj *core.Object, call *core.Call) error {
 // Invoke uses the D2 door identifier, so the call reaches the local cache
 // manager (or the server directly for a locally exported object).
 func (ops) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
+	begin := stats.Begin()
+	reply, err := invoke(obj, call)
+	stats.End(begin, err)
+	return reply, err
+}
+
+func invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	if err := obj.CheckLive(); err != nil {
 		return nil, err
 	}
@@ -195,7 +208,7 @@ func (ops) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	if h == 0 {
 		h = r.D1
 	}
-	return obj.Env.Domain.Call(h, call.Args())
+	return obj.Env.Domain.CallInfo(h, call.Args(), call.Info())
 }
 
 func (o ops) Copy(obj *core.Object) (*core.Object, error) {
@@ -240,7 +253,7 @@ func (ops) Consume(obj *core.Object) error {
 // and mutating operations. Locally the object talks straight to its own
 // door (D2 = 0); caches appear as the object travels to other machines.
 func Export(env *core.Env, mt *core.MTable, skel stubs.Skeleton, manager string, cacheable, invalidate cache.OpSet, unref func()) (*core.Object, *kernel.Door) {
-	h, door := env.Domain.CreateDoor(doorsc.ServerProcTyped(mt.Type, skel), unref)
+	h, door := env.Domain.CreateDoorInfo(doorsc.ServerProcTyped(mt.Type, skel), unref)
 	r := Rep{D1: h, Manager: manager, Cacheable: cacheable, Invalidate: invalidate}
 	return core.NewObject(env, mt, SC, r), door
 }

@@ -19,11 +19,15 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/scstats"
 	"repro/internal/stubs"
 )
 
 // SCID is the cluster subcontract identifier.
 const SCID core.ID = 3
+
+// stats is the subcontract's metrics block.
+var stats = scstats.For("cluster")
 
 // LibraryName is the simulated dynamic-linker library name (§6.2).
 const LibraryName = "cluster.so"
@@ -122,6 +126,13 @@ func (ops) InvokePreamble(obj *core.Object, call *core.Call) error {
 }
 
 func (ops) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
+	begin := stats.Begin()
+	reply, err := invoke(obj, call)
+	stats.End(begin, err)
+	return reply, err
+}
+
+func invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	if err := obj.CheckLive(); err != nil {
 		return nil, err
 	}
@@ -129,7 +140,7 @@ func (ops) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return obj.Env.Domain.Call(r.H, call.Args())
+	return obj.Env.Domain.CallInfo(r.H, call.Args(), call.Info())
 }
 
 func (o ops) Copy(obj *core.Object) (*core.Object, error) {
@@ -176,13 +187,13 @@ type Server struct {
 // NewServer creates the cluster's single door in env's domain.
 func NewServer(env *core.Env) *Server {
 	s := &Server{env: env, skels: make(map[uint64]stubs.Skeleton), next: 1}
-	s.h, s.door = env.Domain.CreateDoor(s.serve, nil)
+	s.h, s.door = env.Domain.CreateDoorInfo(s.serve, nil)
 	return s
 }
 
 // serve is the door target: it reads the tag shipped by the client-side
 // invoke_preamble and dispatches to the tagged object's skeleton.
-func (s *Server) serve(req *buffer.Buffer) (*buffer.Buffer, error) {
+func (s *Server) serve(req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
 	tag, err := req.ReadUint64()
 	if err != nil {
 		return nil, fmt.Errorf("cluster: missing tag: %w", err)
@@ -195,7 +206,7 @@ func (s *Server) serve(req *buffer.Buffer) (*buffer.Buffer, error) {
 		stubs.WriteException(reply, fmt.Sprintf("cluster: no object with tag %d (revoked?)", tag))
 		return reply, nil
 	}
-	if err := stubs.ServeCall(skel, req, reply); err != nil {
+	if err := stubs.ServeCallInfo(skel, req, reply, info); err != nil {
 		return nil, err
 	}
 	return reply, nil

@@ -11,10 +11,12 @@ package doorsc
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/scstats"
 	"repro/internal/stubs"
 )
 
@@ -29,9 +31,24 @@ type Rep struct {
 type Ops struct {
 	Ident  core.ID
 	SCName string
+
+	// stats caches the scstats block interned under SCName, so the invoke
+	// path never touches the registry. Lazily filled on first invoke
+	// (interning is idempotent, so the publication race is benign).
+	stats atomic.Pointer[scstats.Stats]
 }
 
 var _ core.ClientOps = (*Ops)(nil)
+
+// Stats returns the metrics block invocations through o report into.
+func (o *Ops) Stats() *scstats.Stats {
+	if s := o.stats.Load(); s != nil {
+		return s
+	}
+	s := scstats.For(o.SCName)
+	o.stats.Store(s)
+	return s
+}
 
 // ID implements core.Subcontract.
 func (o *Ops) ID() core.ID { return o.Ident }
@@ -106,8 +123,18 @@ func (o *Ops) InvokePreamble(obj *core.Object, call *core.Call) error {
 	return obj.CheckLive()
 }
 
-// Invoke executes the call with the kernel's door invocation mechanism.
+// Invoke executes the call with the kernel's door invocation mechanism,
+// passing the call's invocation context along so the kernel can refuse
+// expired calls and network door servers can forward the remaining budget.
 func (o *Ops) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
+	st := o.Stats()
+	start := st.Begin()
+	reply, err := o.invoke(obj, call)
+	st.End(start, err)
+	return reply, err
+}
+
+func (o *Ops) invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	if err := obj.CheckLive(); err != nil {
 		return nil, err
 	}
@@ -115,7 +142,7 @@ func (o *Ops) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) 
 	if err != nil {
 		return nil, err
 	}
-	return obj.Env.Domain.Call(r.H, call.Args())
+	return obj.Env.Domain.CallInfo(r.H, call.Args(), call.Info())
 }
 
 // Copy fabricates a shallow copy by asking the kernel to copy the door
@@ -162,21 +189,23 @@ const typeQueryOp = ^uint32(1) // 0xFFFFFFFE
 // call: the door delivers the call to the subcontract's server code, which
 // answers subcontract-level queries itself and forwards everything else to
 // the stub level (§5.2.2).
-func ServerProc(skel stubs.Skeleton) kernel.ServerProc {
+func ServerProc(skel stubs.Skeleton) kernel.ServerProcInfo {
 	return ServerProcTyped("", skel)
 }
 
 // ServerProcTyped is ServerProc with the exported dynamic type wired in,
-// so the door can answer remote type queries.
-func ServerProcTyped(typ core.TypeID, skel stubs.Skeleton) kernel.ServerProc {
-	return func(req *buffer.Buffer) (*buffer.Buffer, error) {
+// so the door can answer remote type queries. The invocation context the
+// kernel delivers is threaded to the stub level, where skeletons that
+// implement stubs.InfoSkeleton can inherit the caller's remaining budget.
+func ServerProcTyped(typ core.TypeID, skel stubs.Skeleton) kernel.ServerProcInfo {
+	return func(req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
 		if op, err := req.PeekUint32(); err == nil && op == typeQueryOp {
 			reply := buffer.New(16)
 			reply.WriteString(string(typ))
 			return reply, nil
 		}
 		reply := buffer.New(128)
-		if err := stubs.ServeCall(skel, req, reply); err != nil {
+		if err := stubs.ServeCallInfo(skel, req, reply, info); err != nil {
 			return nil, err
 		}
 		return reply, nil
@@ -218,6 +247,6 @@ func QueryType(obj *core.Object) (core.TypeID, error) {
 // identifier for the door is deleted. The returned Door lets the server
 // revoke the object (§5.2.3).
 func (o *Ops) Export(env *core.Env, mt *core.MTable, skel stubs.Skeleton, unref func()) (*core.Object, *kernel.Door) {
-	h, door := env.Domain.CreateDoor(ServerProcTyped(mt.Type, skel), unref)
+	h, door := env.Domain.CreateDoorInfo(ServerProcTyped(mt.Type, skel), unref)
 	return core.NewObject(env, mt, o, Rep{H: h}), door
 }

@@ -23,21 +23,39 @@ import (
 // (empty) invoke_preamble and the door invocation. Any other subcontract
 // falls back to the general-purpose stubs, preserving identical
 // semantics. Experiment E13 measures the difference.
-func FastCall(obj *core.Object, op core.OpNum, marshalArgs, unmarshalResults stubs.MarshalFunc) error {
+func FastCall(obj *core.Object, op core.OpNum, marshalArgs, unmarshalResults stubs.MarshalFunc, opts ...core.CallOption) error {
 	if obj == nil {
 		return core.ErrNilObject
 	}
 	sc, ok := obj.SC.(*Ops)
 	if !ok {
 		// Not the specialized combination: use the general-purpose stubs.
-		return stubs.Call(obj, op, marshalArgs, unmarshalResults)
+		return stubs.Call(obj, op, marshalArgs, unmarshalResults, opts...)
 	}
+	st := sc.Stats()
+	begin := st.Begin()
+	err := fastCall(obj, sc, op, marshalArgs, unmarshalResults, opts)
+	st.End(begin, err)
+	return err
+}
+
+func fastCall(obj *core.Object, sc *Ops, op core.OpNum, marshalArgs, unmarshalResults stubs.MarshalFunc, opts []core.CallOption) error {
 	if err := obj.CheckLive(); err != nil {
 		return err
 	}
 	r, err := sc.rep(obj)
 	if err != nil {
 		return err
+	}
+	var info *kernel.Info
+	if len(opts) > 0 {
+		// Fabricate the context only when the caller supplied options; the
+		// common context-free fast call stays allocation-identical.
+		c := core.NewCall(op, opts...)
+		info = c.Info()
+		if err := c.Err(); err != nil {
+			return err
+		}
 	}
 	args := buffer.New(64)
 	args.WriteUint32(uint32(op))
@@ -47,7 +65,7 @@ func FastCall(obj *core.Object, op core.OpNum, marshalArgs, unmarshalResults stu
 			return fmt.Errorf("doorsc: marshalling %s op %d: %w", obj.MT.Type, op, err)
 		}
 	}
-	reply, err := obj.Env.Domain.Call(r.H, args)
+	reply, err := obj.Env.Domain.CallInfo(r.H, args, info)
 	if err != nil {
 		return err
 	}

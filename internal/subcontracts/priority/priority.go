@@ -101,7 +101,7 @@ func SetPriority(env *core.Env, p int32) { env.Set(Var, p) }
 // Export creates a priority Spring object in env backed by skel, running
 // incoming calls through exec at the priority each call carries.
 func Export(env *core.Env, mt *core.MTable, skel stubs.Skeleton, exec *sched.Executor, unref func()) (*core.Object, *kernel.Door) {
-	proc := func(req *buffer.Buffer) (*buffer.Buffer, error) {
+	proc := func(req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
 		prio, err := req.ReadInt32()
 		if err != nil {
 			return nil, fmt.Errorf("priority: missing priority control: %w", err)
@@ -110,7 +110,7 @@ func Export(env *core.Env, mt *core.MTable, skel stubs.Skeleton, exec *sched.Exe
 		var serveErr error
 		if err := exec.Run(prio, func() {
 			reply = buffer.New(128)
-			serveErr = stubs.ServeCall(skel, req, reply)
+			serveErr = stubs.ServeCallInfo(skel, req, reply, info)
 		}); err != nil {
 			return nil, err
 		}
@@ -119,6 +119,6 @@ func Export(env *core.Env, mt *core.MTable, skel stubs.Skeleton, exec *sched.Exe
 		}
 		return reply, nil
 	}
-	h, door := env.Domain.CreateDoor(proc, unref)
+	h, door := env.Domain.CreateDoorInfo(proc, unref)
 	return core.NewObject(env, mt, SC, doorsc.Rep{H: h}), door
 }

@@ -1,0 +1,106 @@
+package reconnectable
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sctest"
+)
+
+// TestDeadlineBoundsReresolveLoop is the headline acceptance case for
+// invocation contexts: a call through reconnectable against a permanently
+// dead server with a 50 ms deadline must return ErrDeadlineExceeded within
+// 100 ms — instead of grinding through the policy's full resolution-retry
+// budget (which here would run far longer than the deadline).
+func TestDeadlineBoundsReresolveLoop(t *testing.T) {
+	w := newWorld(t)
+	// A generous retry policy: without the deadline this would spin for
+	// ~2 s (200 × 10 ms) before giving up.
+	w.cli.Set(PolicyVar, &Policy{MaxAttempts: 200, Backoff: 10 * time.Millisecond})
+
+	ctr := &sctest.Counter{}
+	obj, door, err := Export(w.srv, sctest.CounterMT, ctr.Skeleton(), "svc", w.ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := sctest.Transfer(obj, w.cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Permanently dead: the door is revoked and the name unbound, so no
+	// resolution attempt can ever succeed.
+	door.Revoke()
+	if err := w.ctx.Unbind("svc"); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	_, err = sctest.Get(remote, core.WithTimeout(50*time.Millisecond))
+	elapsed := time.Since(start)
+	if !errors.Is(err, core.ErrDeadlineExceeded) {
+		t.Fatalf("Get against dead server with 50ms deadline = %v, want ErrDeadlineExceeded", err)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("deadline honored after %v, want within 100ms", elapsed)
+	}
+}
+
+// TestCancelUnblocksBackoffSleep proves cancellation wakes the re-resolve
+// loop out of its backoff sleep immediately.
+func TestCancelUnblocksBackoffSleep(t *testing.T) {
+	w := newWorld(t)
+	w.cli.Set(PolicyVar, &Policy{MaxAttempts: 200, Backoff: 50 * time.Millisecond})
+
+	ctr := &sctest.Counter{}
+	obj, door, err := Export(w.srv, sctest.CounterMT, ctr.Skeleton(), "svc", w.ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := sctest.Transfer(obj, w.cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	door.Revoke()
+	if err := w.ctx.Unbind("svc"); err != nil {
+		t.Fatal(err)
+	}
+
+	cancel := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := sctest.Get(remote, core.WithCancel(cancel))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the loop enter a backoff sleep
+	close(cancel)
+	select {
+	case err := <-done:
+		if !errors.Is(err, core.ErrCancelled) {
+			t.Fatalf("cancelled re-resolve = %v, want ErrCancelled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancellation did not unblock the re-resolve loop")
+	}
+}
+
+// TestDeadlineSurvivesSuccessfulReconnect: a deadline generous enough for
+// the recovery leaves the reconnection behaviour intact.
+func TestDeadlineSurvivesSuccessfulReconnect(t *testing.T) {
+	w := newWorld(t)
+	ctr := &sctest.Counter{}
+	obj, door, err := Export(w.srv, sctest.CounterMT, ctr.Skeleton(), "svc", w.ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := sctest.Transfer(obj, w.cli, sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashAndRestart(t, w, "svc", ctr, door)
+	if v, err := sctest.Add(remote, 3, core.WithTimeout(5*time.Second)); err != nil || v != 3 {
+		t.Fatalf("Add across crash with generous deadline = %d, %v", v, err)
+	}
+}

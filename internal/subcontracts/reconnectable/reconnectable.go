@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/naming"
+	"repro/internal/scstats"
 	"repro/internal/stubs"
 	"repro/internal/subcontracts/doorsc"
 	"repro/internal/subcontracts/singleton"
@@ -62,11 +63,9 @@ var (
 	ErrBadTarget = errors.New("reconnectable: resolved object is not door-based")
 )
 
-// retryable classifies communications errors worth reconnecting over.
-func retryable(err error) bool {
-	return errors.Is(err, kernel.ErrRevoked) || errors.Is(err, kernel.ErrBadHandle) ||
-		errors.Is(err, kernel.ErrCommFailure)
-}
+// stats is the subcontract's metrics block: calls, reconnects, and the
+// deadline endings that bound the re-resolve loop.
+var stats = scstats.For("reconnectable")
 
 // Rep is the representation: a normal door identifier plus an object name.
 type Rep struct {
@@ -157,7 +156,18 @@ func (ops) InvokePreamble(obj *core.Object, call *core.Call) error {
 
 // Invoke performs a normal kernel door invocation; on a communications
 // failure it re-resolves the object name and retries on the new object.
+// The whole recovery loop — door calls, resolutions, backoff sleeps — is
+// bounded by the call's deadline and cancellation: once the context ends,
+// Invoke stops immediately with core.ErrDeadlineExceeded/ErrCancelled
+// instead of burning the remaining resolution attempts.
 func (ops) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
+	begin := stats.Begin()
+	reply, err := invoke(obj, call)
+	stats.End(begin, err)
+	return reply, err
+}
+
+func invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	if err := obj.CheckLive(); err != nil {
 		return nil, err
 	}
@@ -171,21 +181,29 @@ func (ops) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 		h := r.h
 		r.mu.Unlock()
 
-		reply, err := dom.Call(h, call.Args())
-		if err == nil || !retryable(err) {
+		reply, err := dom.CallInfo(h, call.Args(), call.Info())
+		if err == nil || !core.Retryable(err) {
 			return reply, err
 		}
-		if err := reconnect(obj, r, h); err != nil {
+		stats.Reconnects.Add(1)
+		if err := reconnect(obj, r, h, call.Info()); err != nil {
 			return nil, err
 		}
+		if err := call.Err(); err != nil {
+			// The context ended while we were reconnecting: don't issue
+			// another call on borrowed time.
+			return nil, err
+		}
+		stats.Retries.Add(1)
 	}
 }
 
 // reconnect resolves the object name to obtain a new door, replacing the
 // dead identifier stale. Concurrent invokes racing through a crash
 // coordinate on the rep: whoever swaps first wins, later callers see the
-// fresh handle and skip their own resolution.
-func reconnect(obj *core.Object, r *Rep, stale kernel.Handle) error {
+// fresh handle and skip their own resolution. The resolution loop checks
+// info between attempts and sleeps no longer than the remaining budget.
+func reconnect(obj *core.Object, r *Rep, stale kernel.Handle, info *kernel.Info) error {
 	r.mu.Lock()
 	if r.h != stale {
 		// Another thread already reconnected.
@@ -214,7 +232,12 @@ func reconnect(obj *core.Object, r *Rep, stale kernel.Handle) error {
 	var lastErr error
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(pol.Backoff)
+			if err := sleepInfo(pol.Backoff, info); err != nil {
+				return err
+			}
+		}
+		if err := info.Err(); err != nil {
+			return err
 		}
 		fresh, err := ctx.Resolve(r.name, obj.MT)
 		if err != nil {
@@ -241,6 +264,30 @@ func reconnect(obj *core.Object, r *Rep, stale kernel.Handle) error {
 		return nil
 	}
 	return fmt.Errorf("%w: %q after %d attempts: %v", ErrGaveUp, r.name, pol.MaxAttempts, lastErr)
+}
+
+// sleepInfo sleeps for d, but no longer than info's remaining budget, and
+// wakes immediately on cancellation. It returns the context's error if the
+// context ended during (or before) the sleep.
+func sleepInfo(d time.Duration, info *kernel.Info) error {
+	if err := info.Err(); err != nil {
+		return err
+	}
+	if rem, ok := info.Remaining(); ok && rem < d {
+		d = rem
+	}
+	if info != nil && info.Cancel != nil {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-info.Cancel:
+			return kernel.ErrCancelled
+		case <-t.C:
+		}
+	} else {
+		time.Sleep(d)
+	}
+	return info.Err()
 }
 
 // takeDoor extracts the door identifier from a freshly resolved object,

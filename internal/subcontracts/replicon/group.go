@@ -52,20 +52,20 @@ func (g *Group) Size() int {
 // the epoch.
 func (g *Group) Join(env *core.Env, name string, skel stubs.Skeleton) *Member {
 	m := &Member{group: g, env: env, name: name}
-	proc := func(req *buffer.Buffer) (*buffer.Buffer, error) {
+	proc := func(req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
 		clientEpoch, err := req.ReadUint32()
 		if err != nil {
 			return nil, fmt.Errorf("replicon: missing epoch control: %w", err)
 		}
 		reply := buffer.New(128)
 		g.writeUpdate(reply, clientEpoch)
-		if err := stubs.ServeCall(skel, req, reply); err != nil {
+		if err := stubs.ServeCallInfo(skel, req, reply, info); err != nil {
 			kernel.ReleaseBufferDoors(reply)
 			return nil, err
 		}
 		return reply, nil
 	}
-	h, door := env.Domain.CreateDoor(proc, nil)
+	h, door := env.Domain.CreateDoorInfo(proc, nil)
 	m.door = door
 	ref, err := env.Domain.RefOf(h)
 	if err != nil {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/scstats"
 )
 
 // SCID is the replicon subcontract identifier.
@@ -39,13 +40,9 @@ const LibraryName = "replicon.so"
 // ErrNoReplicas is returned when every replica has been found dead.
 var ErrNoReplicas = errors.New("replicon: no live replicas")
 
-// retryable reports whether err is a communications error (as opposed to a
-// remote exception or a framework error): the class of failures that makes
-// replicon drop a replica and move on.
-func retryable(err error) bool {
-	return errors.Is(err, kernel.ErrRevoked) || errors.Is(err, kernel.ErrBadHandle) ||
-		errors.Is(err, kernel.ErrCommFailure)
-}
+// stats is the subcontract's metrics block; Failovers counts replicas
+// dropped from the target set mid-scan.
+var stats = scstats.For("replicon")
 
 // Rep is a replicon object's representation: the ordered set of replica
 // door identifiers plus the epoch of the replica set it reflects.
@@ -164,8 +161,18 @@ func (ops) InvokePreamble(obj *core.Object, call *core.Call) error {
 }
 
 // Invoke tries each replica in turn, deleting dead ones, and applies any
-// replica-set update piggybacked on the reply.
+// replica-set update piggybacked on the reply. The failover scan is
+// bounded by the call's invocation context: when the deadline passes or
+// the caller cancels mid-scan, Invoke stops — the dead replicas found so
+// far stay dropped, but no further replica is attempted.
 func (ops) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
+	begin := stats.Begin()
+	reply, err := invoke(obj, call)
+	stats.End(begin, err)
+	return reply, err
+}
+
+func invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	if err := obj.CheckLive(); err != nil {
 		return nil, err
 	}
@@ -183,10 +190,15 @@ func (ops) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 		h := r.hs[0]
 		r.mu.Unlock()
 
-		reply, err := dom.Call(h, call.Args())
+		reply, err := dom.CallInfo(h, call.Args(), call.Info())
 		if err != nil {
-			if retryable(err) {
+			if core.Retryable(err) {
+				stats.Failovers.Add(1)
 				r.dropDead(dom, h)
+				if err := call.Err(); err != nil {
+					return nil, err
+				}
+				stats.Retries.Add(1)
 				continue
 			}
 			return nil, err

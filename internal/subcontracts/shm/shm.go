@@ -24,6 +24,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/scstats"
 	"repro/internal/stubs"
 	"repro/internal/subcontracts/doorsc"
 )
@@ -72,6 +73,10 @@ func (s *SC) ID() core.ID { return SCID }
 
 // Name implements core.Subcontract.
 func (s *SC) Name() string { return "shm" }
+
+// stats is the subcontract's metrics block, shared by the shm modes (they
+// are one subcontract family with one name).
+var stats = scstats.For("shm")
 
 func rep(obj *core.Object) (doorsc.Rep, error) {
 	r, ok := obj.Rep.(doorsc.Rep)
@@ -153,6 +158,14 @@ func (s *SC) InvokePreamble(obj *core.Object, call *core.Call) error {
 // arguments are first copied into a region, modelling the extra copy the
 // preamble avoids.
 func (s *SC) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
+	st := stats
+	begin := st.Begin()
+	reply, err := s.invoke(obj, call)
+	st.End(begin, err)
+	return reply, err
+}
+
+func (s *SC) invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	if err := obj.CheckLive(); err != nil {
 		return nil, err
 	}
@@ -168,9 +181,9 @@ func (s *SC) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 			region.Reset()
 			s.pool.Put(region)
 		}()
-		return obj.Env.Domain.Call(r.H, region)
+		return obj.Env.Domain.CallInfo(r.H, region, call.Info())
 	}
-	return obj.Env.Domain.Call(r.H, args)
+	return obj.Env.Domain.CallInfo(r.H, args, call.Info())
 }
 
 // Copy duplicates the door identifier.
@@ -206,6 +219,6 @@ func (s *SC) Consume(obj *core.Object) error {
 
 // Export creates a shared-buffer Spring object in env backed by skel.
 func (s *SC) Export(env *core.Env, mt *core.MTable, skel stubs.Skeleton, unref func()) (*core.Object, *kernel.Door) {
-	h, door := env.Domain.CreateDoor(doorsc.ServerProc(skel), unref)
+	h, door := env.Domain.CreateDoorInfo(doorsc.ServerProc(skel), unref)
 	return core.NewObject(env, mt, s, doorsc.Rep{H: h}), door
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/scstats"
 	"repro/internal/stubs"
 	"repro/internal/subcontracts/doorsc"
 )
@@ -59,7 +60,7 @@ func (st *localState) ensureDoor() error {
 	if st.door != nil {
 		return nil
 	}
-	st.h, st.door = st.env.Domain.CreateDoor(doorsc.ServerProcTyped(st.typ, st.skel), st.unref)
+	st.h, st.door = st.env.Domain.CreateDoorInfo(doorsc.ServerProcTyped(st.typ, st.skel), st.unref)
 	if st.revoked {
 		st.door.Revoke()
 	}
@@ -88,6 +89,10 @@ var local core.ClientOps = localOps{}
 
 func (localOps) ID() core.ID  { return SCID }
 func (localOps) Name() string { return "simplex(local)" }
+
+// localStats is the metrics block for the door-less local path; the
+// remote path reports under "simplex" through its doorsc.Ops.
+var localStats = scstats.For("simplex(local)")
 
 func state(obj *core.Object) (*localState, error) {
 	st, ok := obj.Rep.(*localState)
@@ -153,8 +158,21 @@ func (localOps) InvokePreamble(obj *core.Object, call *core.Call) error {
 }
 
 // Invoke runs the call without any kernel door: the optimized invocation
-// mechanism for use within a single address space.
+// mechanism for use within a single address space. An already-ended
+// invocation context fails fast; once the local dispatch starts there is
+// no preemption point (the server runs on the caller's thread, exactly as
+// with a door call).
 func (localOps) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
+	begin := localStats.Begin()
+	reply, err := localInvoke(obj, call)
+	localStats.End(begin, err)
+	return reply, err
+}
+
+func localInvoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
+	if err := call.Err(); err != nil {
+		return nil, err
+	}
 	if err := obj.CheckLive(); err != nil {
 		return nil, err
 	}
@@ -169,7 +187,7 @@ func (localOps) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error
 		return nil, ErrRevoked
 	}
 	reply := buffer.New(128)
-	if err := stubs.ServeCall(st.skel, call.Args(), reply); err != nil {
+	if err := stubs.ServeCallInfo(st.skel, call.Args(), reply, call.Info()); err != nil {
 		return nil, err
 	}
 	return reply, nil

@@ -117,7 +117,7 @@ func (f SkeletonFunc) DispatchTxn(id txn.ID, op core.OpNum, args, results *buffe
 // is enlisted with coord the first time each transaction touches this
 // server.
 func Export(env *core.Env, mt *core.MTable, skel Skeleton, part txn.Participant, coord *txn.Coordinator, unref func()) (*core.Object, *kernel.Door) {
-	proc := func(req *buffer.Buffer) (*buffer.Buffer, error) {
+	proc := func(req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
 		raw, err := req.ReadUint64()
 		if err != nil {
 			return nil, fmt.Errorf("txnsc: missing transaction control: %w", err)
@@ -138,11 +138,11 @@ func Export(env *core.Env, mt *core.MTable, skel Skeleton, part txn.Participant,
 		inner := stubs.SkeletonFunc(func(op core.OpNum, args, results *buffer.Buffer) error {
 			return skel.DispatchTxn(id, op, args, results)
 		})
-		if err := stubs.ServeCall(inner, req, reply); err != nil {
+		if err := stubs.ServeCallInfo(inner, req, reply, info); err != nil {
 			return nil, err
 		}
 		return reply, nil
 	}
-	h, door := env.Domain.CreateDoor(proc, unref)
+	h, door := env.Domain.CreateDoorInfo(proc, unref)
 	return core.NewObject(env, mt, SC, doorsc.Rep{H: h}), door
 }

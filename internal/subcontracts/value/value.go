@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/core"
+	"repro/internal/scstats"
 	"repro/internal/stubs"
 )
 
@@ -93,6 +94,9 @@ func Register(r *core.Registry) error { return r.Register(SC) }
 func (ops) ID() core.ID  { return SCID }
 func (ops) Name() string { return "value" }
 
+// stats is the subcontract's metrics block.
+var stats = scstats.For("value")
+
 func rep(obj *core.Object) (*Rep, error) {
 	r, ok := obj.Rep.(*Rep)
 	if !ok {
@@ -156,8 +160,21 @@ func (ops) InvokePreamble(obj *core.Object, call *core.Call) error {
 }
 
 // Invoke runs the operation against the local state through the type's
-// registered handler — no communication happens at all.
+// registered handler — no communication happens at all. Deadlines and
+// cancellation still apply at the boundary: an already-ended context
+// fails before the handler runs (there is nothing to interrupt once a
+// local dispatch has started).
 func (ops) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
+	begin := stats.Begin()
+	reply, err := invoke(obj, call)
+	stats.End(begin, err)
+	return reply, err
+}
+
+func invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
+	if err := call.Err(); err != nil {
+		return nil, err
+	}
 	if err := obj.CheckLive(); err != nil {
 		return nil, err
 	}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dgram"
 	"repro/internal/kernel"
+	"repro/internal/scstats"
 	"repro/internal/stubs"
 )
 
@@ -92,6 +93,10 @@ func Register(r *core.Registry) error { return r.Register(SC) }
 
 func (ops) ID() core.ID  { return SCID }
 func (ops) Name() string { return "video" }
+
+// stats is the subcontract's metrics block (control-path calls only;
+// frames bypass invocation entirely).
+var stats = scstats.For("video")
 
 func rep(obj *core.Object) (*Rep, error) {
 	r, ok := obj.Rep.(*Rep)
@@ -196,6 +201,13 @@ func (ops) InvokePreamble(obj *core.Object, call *core.Call) error {
 }
 
 func (ops) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
+	begin := stats.Begin()
+	reply, err := invoke(obj, call)
+	stats.End(begin, err)
+	return reply, err
+}
+
+func invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	if err := obj.CheckLive(); err != nil {
 		return nil, err
 	}
@@ -203,7 +215,7 @@ func (ops) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return obj.Env.Domain.Call(r.h, call.Args())
+	return obj.Env.Domain.CallInfo(r.h, call.Args(), call.Info())
 }
 
 // Copy duplicates the control door and attaches a fresh frame channel for
