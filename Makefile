@@ -1,7 +1,9 @@
 # Verification tiers. tier1 is the build gate; tier2 adds static
-# analysis and the race detector (the scstats fast path and the netd
-# forward/cancel select are the interesting surfaces).
-.PHONY: all tier1 tier2 bench gen
+# analysis, the race detector (the scstats fast path and the netd
+# forward/cancel select are the interesting surfaces), and the fault
+# suite — the liveness/partition tests under deterministic fault
+# injection (internal/faultnet).
+.PHONY: all tier1 tier2 faults bench gen
 
 all: tier1 tier2
 
@@ -9,9 +11,15 @@ tier1:
 	go build ./...
 	go test ./...
 
-tier2:
+tier2: faults
 	go vet ./...
 	go test -race ./...
+
+# The fault suite: partition, crash-recovery, lease-expiry and breaker
+# tests across netd and the subcontracts, under the race detector.
+faults:
+	go test -race -run 'Lease|Partition|Breaker|Fault|Sever|Truncat|Kill|Refus|Hung|Dead|Replay|Heartbeat|Reclaim' \
+		./internal/faultnet/ ./internal/netd/ ./internal/integration/
 
 bench:
 	go test -bench=. -benchmem

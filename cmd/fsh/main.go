@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/cache"
@@ -31,6 +32,12 @@ import (
 var (
 	server  = flag.String("server", "127.0.0.1:7040", "springfsd address")
 	timeout = flag.Duration("timeout", 0, "per-call deadline (0 = none); expired calls fail with core.ErrDeadlineExceeded")
+
+	callTimeout = flag.Duration("call-timeout", 10*time.Second, "reply wait per forwarded call")
+	dialTimeout = flag.Duration("dial-timeout", 3*time.Second, "per connection attempt")
+	hbInterval  = flag.Duration("heartbeat", time.Second, "heartbeat interval on idle peer connections")
+	leaseGrace  = flag.Duration("lease-grace", 10*time.Second,
+		"how long a peer may be silent or disconnected before its references are reclaimed")
 )
 
 func usage() {
@@ -49,7 +56,12 @@ func main() {
 
 	// Local machine setup: kernel, network door server, naming, cache.
 	k := kernel.New("fsh")
-	net, err := netd.Start(k.NewDomain("netd"), "127.0.0.1:0")
+	net, err := netd.StartConfig(k.NewDomain("netd"), "127.0.0.1:0", netd.Config{
+		CallTimeout:       *callTimeout,
+		DialTimeout:       *dialTimeout,
+		HeartbeatInterval: *hbInterval,
+		LeaseGrace:        *leaseGrace,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

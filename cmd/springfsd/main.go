@@ -16,6 +16,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -32,6 +33,12 @@ var (
 	flavor   = flag.String("flavor", "plain", "file subcontract flavor: plain | caching")
 	snapshot = flag.String("snapshot", "", "stable-storage file: loaded at start, saved on shutdown")
 	dumpSC   = flag.Bool("scstats", false, "dump per-subcontract metrics on shutdown and on SIGUSR1")
+
+	callTimeout = flag.Duration("call-timeout", 10*time.Second, "reply wait per forwarded call")
+	dialTimeout = flag.Duration("dial-timeout", 3*time.Second, "per connection attempt")
+	hbInterval  = flag.Duration("heartbeat", time.Second, "heartbeat interval on idle peer connections")
+	leaseGrace  = flag.Duration("lease-grace", 10*time.Second,
+		"how long a peer may be silent or disconnected before its references are reclaimed")
 )
 
 func main() {
@@ -40,7 +47,12 @@ func main() {
 	log.SetFlags(0)
 
 	k := kernel.New("springfsd")
-	net, err := netd.Start(k.NewDomain("netd"), *addr)
+	net, err := netd.StartConfig(k.NewDomain("netd"), *addr, netd.Config{
+		CallTimeout:       *callTimeout,
+		DialTimeout:       *dialTimeout,
+		HeartbeatInterval: *hbInterval,
+		LeaseGrace:        *leaseGrace,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

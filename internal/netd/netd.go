@@ -20,18 +20,41 @@
 // (marshalled through their subcontracts) that remote machines fetch to
 // obtain their first object — typically a naming context.
 //
-// Known limitation, shared with any purely refcount-based distributed
-// collector (Spring's network servers included): if a peer machine dies
-// without releasing its references, the exporter's entries for it persist
-// until the exporting process exits. A lease/heartbeat layer would bound
-// this; it is out of the paper's scope.
+// # Failure semantics
+//
+// Purely refcount-based distributed collection (Spring's network servers
+// included) leaks an exporter's entries forever when a peer dies without
+// releasing its references; the paper left the repair out of scope. Here
+// a peer-liveness layer bounds it. Every connection opens with a session
+// handshake (a hello frame carrying the peer's per-process instance
+// identity) and exchanges heartbeats; exported references are tagged with
+// the receiving peer's session. When a peer crashes or partitions and
+// stays gone past the lease grace period, the exporter reclaims that
+// session's references exactly as if the peer had released them: export
+// entries drain and unreferenced notifications fire, so server state
+// (per-open files, mid-chain proxy doors) is cleaned up and the release
+// cascade propagates down proxy chains.
+//
+// The importer side contains failures symmetrically: calls on a dead
+// connection fail fast in the kernel.ErrCommFailure class (retryable, so
+// reconnectable and replicon recover); a per-address circuit breaker with
+// exponential backoff and a half-open probe keeps calls to a dead peer
+// from each paying a dial timeout; release messages that cannot be sent
+// are queued and replayed when the peer returns; and once a peer has been
+// unreachable past the grace period the proxy doors imported from it are
+// poisoned — their references were reclaimed over there — so they fail in
+// O(1) until the application re-resolves. Intervals are configured with
+// Config; the fault-injection harness in internal/faultnet drives all of
+// this deterministically in tests.
 package netd
 
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/buffer"
@@ -48,66 +71,177 @@ var (
 	ErrNoRoot = errors.New("netd: no such root")
 	// ErrClosed is returned when operating on a closed server.
 	ErrClosed = errors.New("netd: server closed")
+	// ErrBreakerOpen is returned (wrapped in kernel.ErrCommFailure) while
+	// the per-address circuit breaker is open: the peer failed recently
+	// and the backoff period has not lapsed, so the call fails in O(1)
+	// instead of paying a dial timeout.
+	ErrBreakerOpen = errors.New("netd: peer breaker open")
+	// ErrLeaseExpired is returned (wrapped in kernel.ErrCommFailure) from
+	// a proxy door poisoned by lease loss: its exporter was unreachable
+	// past the grace period and must be presumed to have reclaimed the
+	// references behind the proxy.
+	ErrLeaseExpired = errors.New("netd: peer lease expired")
 )
 
-// exportEntry tracks one exported door: the server's own identifier for it
-// and how many references are held remotely.
+// exportEntry tracks one exported door: the server's own identifier for
+// it and, per peer session, how many references that peer holds.
 type exportEntry struct {
-	h      kernel.Handle
-	remote int
+	h    kernel.Handle
+	held map[*session]int
+}
+
+func (e *exportEntry) total() int {
+	n := 0
+	for _, c := range e.held {
+		n += c
+	}
+	return n
+}
+
+// Transport abstracts the listener and dialer so tests can interpose
+// fault injection (internal/faultnet). Nil fields default to TCP.
+type Transport struct {
+	Listen func(addr string) (net.Listener, error)
+	Dial   func(addr string) (net.Conn, error)
+}
+
+// Config carries the liveness and containment tunables. Zero fields take
+// the documented defaults. cmd/springfsd and cmd/fsh expose these as
+// flags.
+type Config struct {
+	// CallTimeout bounds the reply wait of one forwarded call (further
+	// bounded by the invocation context's deadline). Default 10s.
+	CallTimeout time.Duration
+	// DialTimeout bounds one connection attempt. Default 3s.
+	DialTimeout time.Duration
+	// HeartbeatInterval is how often an otherwise idle connection is
+	// pinged. Default 1s.
+	HeartbeatInterval time.Duration
+	// LeaseGrace is how long a peer may be silent (no frames on any
+	// connection) or disconnected before its session's references are
+	// reclaimed, and symmetrically how long an importer waits before
+	// poisoning proxies from an unreachable exporter. Default 10s.
+	LeaseGrace time.Duration
+	// BreakerBackoff is the breaker's first open period after a failed
+	// dial; it doubles per consecutive failure up to BreakerMaxBackoff.
+	// Defaults 100ms and 15s.
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
+	// Transport supplies the listener and dialer (fault injection).
+	Transport Transport
+}
+
+func (cfg *Config) fillDefaults() {
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = 10 * time.Second
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 3 * time.Second
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.LeaseGrace == 0 {
+		cfg.LeaseGrace = 10 * time.Second
+	}
+	if cfg.BreakerBackoff == 0 {
+		cfg.BreakerBackoff = 100 * time.Millisecond
+	}
+	if cfg.BreakerMaxBackoff == 0 {
+		cfg.BreakerMaxBackoff = 15 * time.Second
+	}
+	if cfg.Transport.Listen == nil {
+		cfg.Transport.Listen = func(addr string) (net.Listener, error) {
+			return net.Listen("tcp", addr)
+		}
+	}
+	if cfg.Transport.Dial == nil {
+		cfg.Transport.Dial = tcpDial
+	}
 }
 
 // Server is one machine's network door server.
 type Server struct {
-	dom     *kernel.Domain
-	ln      net.Listener
-	addr    string
-	dial    dialer
-	Timeout time.Duration // per forwarded call; default 10s
+	dom      *kernel.Domain
+	ln       net.Listener
+	addr     string
+	dial     dialer
+	instance uint64 // random per-process identity, sent in hellos
 
-	mu       sync.Mutex
-	exports  map[uint64]*exportEntry
-	byDoor   map[uint64]uint64 // door identity → export key
-	nextKey  uint64
-	roots    map[string]*core.Object
-	conns    map[string]*conn   // dialled, pooled by address
-	allConns map[*conn]struct{} // every live connection, for teardown
-	closed   bool
+	Timeout     time.Duration // per forwarded call; default 10s
+	DialTimeout time.Duration // per connection attempt; default 3s
 
-	wg sync.WaitGroup
+	// Liveness tunables, fixed at StartConfig (the sweeper reads them
+	// concurrently, so they are not settable afterwards).
+	hbInterval time.Duration
+	leaseGrace time.Duration
+	breakerMin time.Duration
+	breakerMax time.Duration
+
+	mu        sync.Mutex
+	exports   map[uint64]*exportEntry
+	byDoor    map[uint64]uint64 // door identity → export key
+	nextKey   uint64
+	nextEpoch uint64
+	roots     map[string]*core.Object
+	conns     map[string]*conn    // dialled, pooled by address
+	allConns  map[*conn]struct{}  // every live connection, for teardown
+	sessions  map[uint64]*session // peer instance → lease session
+	peers     map[string]*peerState
+	closed    bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
 }
 
-// Start launches a network door server for dom's kernel, listening on
-// listenAddr ("127.0.0.1:0" picks a free port). dom should be a dedicated
-// domain for the network server.
+// Start launches a network door server for dom's kernel with default
+// configuration, listening on listenAddr ("127.0.0.1:0" picks a free
+// port). dom should be a dedicated domain for the network server.
 func Start(dom *kernel.Domain, listenAddr string) (*Server, error) {
-	ln, err := net.Listen("tcp", listenAddr)
+	return StartConfig(dom, listenAddr, Config{})
+}
+
+// StartConfig launches a network door server with explicit liveness and
+// transport configuration.
+func StartConfig(dom *kernel.Domain, listenAddr string, cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	ln, err := cfg.Transport.Listen(listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("netd: listen: %w", err)
 	}
 	s := &Server{
-		dom:      dom,
-		ln:       ln,
-		addr:     ln.Addr().String(),
-		dial:     tcpDial,
-		Timeout:  10 * time.Second,
-		exports:  make(map[uint64]*exportEntry),
-		byDoor:   make(map[uint64]uint64),
-		nextKey:  1,
-		roots:    make(map[string]*core.Object),
-		conns:    make(map[string]*conn),
-		allConns: make(map[*conn]struct{}),
+		dom:         dom,
+		ln:          ln,
+		addr:        ln.Addr().String(),
+		dial:        cfg.Transport.Dial,
+		instance:    rand.Uint64(),
+		Timeout:     cfg.CallTimeout,
+		DialTimeout: cfg.DialTimeout,
+		hbInterval:  cfg.HeartbeatInterval,
+		leaseGrace:  cfg.LeaseGrace,
+		breakerMin:  cfg.BreakerBackoff,
+		breakerMax:  cfg.BreakerMaxBackoff,
+		exports:     make(map[uint64]*exportEntry),
+		byDoor:      make(map[uint64]uint64),
+		nextKey:     1,
+		roots:       make(map[string]*core.Object),
+		conns:       make(map[string]*conn),
+		allConns:    make(map[*conn]struct{}),
+		sessions:    make(map[uint64]*session),
+		peers:       make(map[string]*peerState),
+		stop:        make(chan struct{}),
 	}
-	s.wg.Add(1)
+	s.wg.Add(2)
 	go s.acceptLoop()
+	go s.sweeper()
 	return s, nil
 }
 
 // Addr returns the server's advertised address.
 func (s *Server) Addr() string { return s.addr }
 
-// Close stops the listener and tears down all connections. In-flight
-// calls fail with communications errors.
+// Close stops the listener, the liveness sweeper, and tears down all
+// connections. In-flight calls fail with communications errors.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -119,10 +253,22 @@ func (s *Server) Close() error {
 	for c := range s.allConns {
 		conns = append(conns, c)
 	}
+	gConns.Add(int64(-len(s.allConns)))
+	gSessions.Add(int64(-len(s.sessions)))
+	gExports.Add(int64(-len(s.exports)))
+	for _, sess := range s.sessions {
+		sess.expired = true // reject exports from lingering in-flight calls
+	}
+	for _, p := range s.peers {
+		gReleasesQueued.Add(int64(-len(p.queue)))
+		p.queue = nil
+	}
 	s.conns = make(map[string]*conn)
 	s.allConns = make(map[*conn]struct{})
+	s.sessions = make(map[uint64]*session)
 	s.mu.Unlock()
 
+	close(s.stop)
 	err := s.ln.Close()
 	for _, c := range conns {
 		c.fail(ErrClosed)
@@ -150,28 +296,39 @@ var (
 // Export / import of door identifiers.
 
 // exportSlot maps an in-flight door reference to its network form,
-// transferring the reference into the export table.
-func (s *Server) exportSlot(slot buffer.Door) (descriptor, error) {
+// transferring the reference into the export table, held under the lease
+// session of the connection it ships over.
+func (s *Server) exportSlot(slot buffer.Door, c *conn) (descriptor, error) {
 	ref, ok := slot.(kernel.Ref)
 	if !ok {
 		return descriptor{}, fmt.Errorf("netd: cannot export %T", slot)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	sess := c.sess
+	if sess == nil || sess.expired {
+		return descriptor{}, commErr("no live session to export over")
+	}
 	if key, ok := s.byDoor[ref.DoorID()]; ok {
-		s.exports[key].remote++
+		s.exports[key].held[sess]++
+		sess.refs[key]++
 		ref.Release() // the table's handle already keeps the door alive
 		return descriptor{Addr: s.addr, Key: key}, nil
 	}
 	key := s.nextKey
 	s.nextKey++
-	s.exports[key] = &exportEntry{h: s.dom.AdoptRef(ref), remote: 1}
+	s.exports[key] = &exportEntry{h: s.dom.AdoptRef(ref), held: map[*session]int{sess: 1}}
 	s.byDoor[ref.DoorID()] = key
+	sess.refs[key] = 1
+	gExports.Add(1)
 	return descriptor{Addr: s.addr, Key: key}, nil
 }
 
 // importDesc converts a network form back into a kernel door reference: a
 // proxy door for remote descriptors, the real door for one coming home.
+// A fabricated proxy captures the exporter address's current import
+// epoch; if the exporter later stays unreachable past the lease grace
+// period the epoch is bumped and the proxy is poisoned.
 func (s *Server) importDesc(desc descriptor) (kernel.Ref, error) {
 	if desc.Addr == s.addr {
 		// One of our own doors returning home: unwrap to the real door,
@@ -186,13 +343,16 @@ func (s *Server) importDesc(desc descriptor) (kernel.Ref, error) {
 		if err != nil {
 			return kernel.Ref{}, err
 		}
-		s.releaseLocked(desc.Key, 1)
+		s.releaseAnyLocked(desc.Key, 1)
 		return ref, nil
 	}
+	s.mu.Lock()
+	epoch := s.peerLocked(desc.Addr).epoch
+	s.mu.Unlock()
 	proc := func(req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
-		return s.forward(desc, req, info)
+		return s.forward(desc, epoch, req, info)
 	}
-	unref := func() { s.sendRelease(desc, 1) }
+	unref := func() { s.release(desc, epoch, 1) }
 	h, _ := s.dom.CreateDoorInfo(proc, unref)
 	ref, err := s.dom.RefOf(h)
 	if err != nil {
@@ -204,17 +364,9 @@ func (s *Server) importDesc(desc descriptor) (kernel.Ref, error) {
 	return ref, nil
 }
 
-// releaseLocked drops remote references from an export entry, deleting the
-// table's identifier when none remain. Callers hold s.mu.
-func (s *Server) releaseLocked(key uint64, count int) {
-	e, ok := s.exports[key]
-	if !ok {
-		return
-	}
-	e.remote -= count
-	if e.remote > 0 {
-		return
-	}
+// removeExportLocked deletes an export entry whose last reference is
+// gone. Callers hold s.mu.
+func (s *Server) removeExportLocked(key uint64, e *exportEntry) {
 	delete(s.exports, key)
 	for id, k := range s.byDoor {
 		if k == key {
@@ -222,24 +374,100 @@ func (s *Server) releaseLocked(key uint64, count int) {
 			break
 		}
 	}
-	h := e.h
+	if !s.closed { // Close bulk-decrements the whole table
+		gExports.Add(-1)
+	}
 	// Delete outside the map bookkeeping but still under s.mu; the
 	// kernel delivers any unreferenced notification asynchronously.
-	_ = s.dom.DeleteDoor(h)
+	_ = s.dom.DeleteDoor(e.h)
 }
 
-// sendRelease notifies a remote exporter that count references died here.
-// Best effort: if the peer is unreachable its state is already moot.
-func (s *Server) sendRelease(desc descriptor, count int) {
-	c, err := s.getConn(desc.Addr)
-	if err != nil {
+// releaseLocked drops remote references held by sess from an export
+// entry, deleting the table's identifier when none remain anywhere.
+// Callers hold s.mu.
+func (s *Server) releaseLocked(sess *session, key uint64, count int) {
+	e, ok := s.exports[key]
+	if !ok {
 		return
 	}
+	have := e.held[sess]
+	if count > have {
+		count = have // clamp a buggy double-release
+	}
+	e.held[sess] -= count
+	if e.held[sess] <= 0 {
+		delete(e.held, sess)
+	}
+	if sess.refs[key] -= count; sess.refs[key] <= 0 {
+		delete(sess.refs, key)
+	}
+	if len(e.held) == 0 {
+		s.removeExportLocked(key, e)
+	}
+}
+
+// releaseAnyLocked drops count references from key without knowing the
+// holding session (home-unwrapped descriptors). Callers hold s.mu.
+func (s *Server) releaseAnyLocked(key uint64, count int) {
+	e, ok := s.exports[key]
+	if !ok {
+		return
+	}
+	for sess, n := range e.held {
+		if count <= 0 {
+			break
+		}
+		take := n
+		if take > count {
+			take = count
+		}
+		count -= take
+		e.held[sess] -= take
+		if e.held[sess] <= 0 {
+			delete(e.held, sess)
+		}
+		if sess.refs[key] -= take; sess.refs[key] <= 0 {
+			delete(sess.refs, key)
+		}
+	}
+	if len(e.held) == 0 {
+		s.removeExportLocked(key, e)
+	}
+}
+
+// release notifies a remote exporter that count references died here. If
+// the peer is unreachable the release is queued and replayed by the
+// sweeper once the peer returns; if our lease there has lapsed the
+// exporter already reclaimed the references and the message is moot.
+func (s *Server) release(desc descriptor, epoch uint64, count int) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	p := s.peerLocked(desc.Addr)
+	if p.epoch != epoch {
+		s.mu.Unlock()
+		return
+	}
+	c, ok := s.conns[desc.Addr]
+	if !ok || c.isDead() {
+		s.queueReleaseLocked(p, desc.Key, count)
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
 	payload := buffer.New(32)
 	payload.WriteByte(msgRelease)
 	payload.WriteUint64(desc.Key)
 	payload.WriteUvarint(uint64(count))
-	_ = c.send(payload.Bytes())
+	if err := c.send(payload.Bytes()); err != nil {
+		s.mu.Lock()
+		if p.epoch == epoch {
+			s.queueReleaseLocked(p, desc.Key, count)
+		}
+		s.mu.Unlock()
+	}
 }
 
 // Exports reports the number of live export entries (observability).
@@ -257,16 +485,22 @@ func (s *Server) Exports() int {
 // aborts before anything is sent, the wire header ships the remaining
 // budget so the server machine inherits it, and the reply wait is bounded
 // by min(s.Timeout, remaining budget) and by the cancellation channel.
-func (s *Server) forward(desc descriptor, req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
+func (s *Server) forward(desc descriptor, epoch uint64, req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
 	begin := stats.Begin()
-	reply, err := s.forwardInfo(desc, req, info)
+	reply, err := s.forwardInfo(desc, epoch, req, info)
 	stats.End(begin, err)
 	return reply, err
 }
 
-func (s *Server) forwardInfo(desc descriptor, req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
+func (s *Server) forwardInfo(desc descriptor, epoch uint64, req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
 	if err := info.Err(); err != nil {
 		return nil, err
+	}
+	s.mu.Lock()
+	poisoned := s.peerLocked(desc.Addr).epoch != epoch
+	s.mu.Unlock()
+	if poisoned {
+		return nil, fmt.Errorf("%w: proxy door to %s: %w", kernel.ErrCommFailure, desc.Addr, ErrLeaseExpired)
 	}
 	c, err := s.getConn(desc.Addr)
 	if err != nil {
@@ -278,12 +512,13 @@ func (s *Server) forwardInfo(desc descriptor, req *buffer.Buffer, info *kernel.I
 	payload.WriteUint64(reqID)
 	payload.WriteUint64(desc.Key)
 	putInfoHeader(payload, info)
-	if err := s.putWireBuffer(payload, req); err != nil {
+	if err := s.putWireBuffer(payload, req, c); err != nil {
 		c.unregister(reqID)
 		return nil, err
 	}
 	if err := c.send(payload.Bytes()); err != nil {
 		c.unregister(reqID)
+		c.fail(commErr("send to %s: %v", desc.Addr, err))
 		return nil, commErr("send to %s: %v", desc.Addr, err)
 	}
 	wait := s.Timeout
@@ -339,7 +574,10 @@ func (s *Server) parseReply(reply *buffer.Buffer, desc descriptor) (*buffer.Buff
 	}
 }
 
-// getConn returns (establishing if needed) the pooled connection to addr.
+// getConn returns the pooled connection to addr, establishing (with the
+// session handshake) if needed. Dead connections are pruned from the
+// pool so the next call redials instead of failing on a corpse; dials
+// are admitted by the per-address circuit breaker.
 func (s *Server) getConn(addr string) (*conn, error) {
 	s.mu.Lock()
 	if s.closed {
@@ -347,12 +585,49 @@ func (s *Server) getConn(addr string) (*conn, error) {
 		return nil, ErrClosed
 	}
 	if c, ok := s.conns[addr]; ok {
+		if !c.isDead() {
+			s.mu.Unlock()
+			return c, nil
+		}
+		delete(s.conns, addr) // pool hygiene: never hand out a dead conn
+	}
+	p := s.peerLocked(addr)
+	if !s.breakerAdmitLocked(p, time.Now()) {
+		until := time.Until(p.openUntil).Round(time.Millisecond)
 		s.mu.Unlock()
-		return c, nil
+		return nil, fmt.Errorf("%w: %s: %w (next probe in %v)", kernel.ErrCommFailure, addr, ErrBreakerOpen, until)
 	}
 	s.mu.Unlock()
 
-	netc, err := s.dial(addr)
+	c, err := s.dialAndHello(addr)
+	s.mu.Lock()
+	p = s.peerLocked(addr)
+	if err != nil {
+		s.breakerFailLocked(p)
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.breakerOKLocked(p)
+	if s.closed {
+		s.mu.Unlock()
+		c.fail(ErrClosed)
+		return nil, ErrClosed
+	}
+	if old, ok := s.conns[addr]; ok && !old.isDead() {
+		s.mu.Unlock()
+		c.fail(ErrClosed) // lost a dial race; use the established conn
+		return old, nil
+	}
+	s.conns[addr] = c
+	s.mu.Unlock()
+	return c, nil
+}
+
+// dialAndHello dials addr (bounded by DialTimeout), starts the read
+// loop, and completes the session handshake: our hello goes out first,
+// and the connection is not usable until the peer's hello arrives.
+func (s *Server) dialAndHello(addr string) (*conn, error) {
+	netc, err := s.timedDial(addr)
 	if err != nil {
 		return nil, commErr("dial %s: %v", addr, err)
 	}
@@ -363,21 +638,54 @@ func (s *Server) getConn(addr string) (*conn, error) {
 		_ = netc.Close()
 		return nil, ErrClosed
 	}
-	if old, ok := s.conns[addr]; ok {
-		s.mu.Unlock()
-		_ = netc.Close()
-		return old, nil
-	}
-	s.conns[addr] = c
 	s.allConns[c] = struct{}{}
+	epoch := s.nextEpoch
+	s.nextEpoch++
 	s.mu.Unlock()
-
+	gConns.Add(1)
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		s.serveConn(c, addr)
 	}()
-	return c, nil
+	if err := s.sendHello(c, epoch); err != nil {
+		c.fail(commErr("hello to %s: %v", addr, err))
+		return nil, commErr("hello to %s: %v", addr, err)
+	}
+	select {
+	case <-c.helloed:
+		return c, nil
+	case <-c.done:
+		return nil, commErr("connection to %s lost during handshake", addr)
+	case <-time.After(s.DialTimeout):
+		c.fail(commErr("hello from %s timed out", addr))
+		return nil, commErr("hello from %s timed out", addr)
+	}
+}
+
+// timedDial bounds one dial attempt by DialTimeout regardless of the
+// transport's own behavior.
+func (s *Server) timedDial(addr string) (net.Conn, error) {
+	type result struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		c, err := s.dial(addr)
+		ch <- result{c, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.c, r.err
+	case <-time.After(s.DialTimeout):
+		go func() { // reap the eventual result
+			if r := <-ch; r.c != nil {
+				_ = r.c.Close()
+			}
+		}()
+		return nil, fmt.Errorf("timeout after %v", s.DialTimeout)
+	}
 }
 
 // ---------------------------------------------------------------------
@@ -398,30 +706,52 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.allConns[c] = struct{}{}
+		epoch := s.nextEpoch
+		s.nextEpoch++
 		s.mu.Unlock()
+		gConns.Add(1)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			s.serveConn(c, "")
 		}()
+		go func() { _ = s.sendHello(c, epoch) }()
 	}
 }
 
 // serveConn demultiplexes one connection: replies complete pending
-// requests; calls, releases and root requests are served. addr is the
-// pool key for dialled connections ("" for accepted ones).
+// requests; hellos bind the session; pings are answered; calls, releases
+// and root requests are served (only after the session handshake — a
+// peer that skips it is violating the protocol and is cut off). addr is
+// the pool key for dialled connections ("" for accepted ones).
 func (s *Server) serveConn(c *conn, addr string) {
+loop:
 	for {
 		frame, err := readFrame(c.netc)
 		if err != nil {
 			break
 		}
+		c.lastRecv.Store(time.Now().UnixNano())
 		in := buffer.FromParts(frame, nil)
 		msg, err := in.ReadByte()
 		if err != nil {
 			break
 		}
 		switch msg {
+		case msgHello:
+			instance, err1 := in.ReadUint64()
+			epoch, err2 := in.ReadUint64()
+			listenAddr, err3 := in.ReadString()
+			if err1 != nil || err2 != nil || err3 != nil {
+				break loop
+			}
+			s.handleHello(c, instance, epoch, listenAddr)
+		case msgPing:
+			pong := buffer.New(1)
+			pong.WriteByte(msgPong)
+			_ = c.send(pong.Bytes())
+		case msgPong:
+			// lastRecv above is all a pong is for.
 		case msgReply:
 			reqID, err := in.ReadUint64()
 			if err != nil {
@@ -429,6 +759,9 @@ func (s *Server) serveConn(c *conn, addr string) {
 			}
 			c.deliver(reqID, in)
 		case msgCall:
+			if !c.hasSession() {
+				break loop
+			}
 			reqID, err1 := in.ReadUint64()
 			key, err2 := in.ReadUint64()
 			if err1 != nil || err2 != nil {
@@ -446,15 +779,21 @@ func (s *Server) serveConn(c *conn, addr string) {
 			}
 			go s.handleCall(c, reqID, key, req, info)
 		case msgRelease:
+			if !c.hasSession() {
+				break loop
+			}
 			key, err1 := in.ReadUint64()
 			count, err2 := in.ReadUvarint()
 			if err1 != nil || err2 != nil {
 				continue
 			}
 			s.mu.Lock()
-			s.releaseLocked(key, int(count))
+			s.releaseLocked(c.sess, key, int(count))
 			s.mu.Unlock()
 		case msgRoot:
+			if !c.hasSession() {
+				break loop
+			}
 			reqID, err := in.ReadUint64()
 			if err != nil {
 				continue
@@ -466,14 +805,7 @@ func (s *Server) serveConn(c *conn, addr string) {
 			s.handleRoot(c, reqID, name)
 		}
 	}
-	c.fail(commErr("connection lost"))
-	s.mu.Lock()
-	if addr != "" && s.conns[addr] == c {
-		delete(s.conns, addr)
-	}
-	delete(s.allConns, c)
-	s.mu.Unlock()
-	_ = c.netc.Close()
+	s.connClosed(c, addr)
 }
 
 // handleCall executes an incoming forwarded door call under the context
@@ -521,7 +853,7 @@ func (s *Server) reply(c *conn, reqID uint64, code byte, out *buffer.Buffer, err
 	payload.WriteByte(code)
 	switch code {
 	case codeOK:
-		if err := s.putWireBuffer(payload, out); err != nil {
+		if err := s.putWireBuffer(payload, out, c); err != nil {
 			// Re-encode as an error reply; the doors are already gone.
 			payload.Reset()
 			payload.WriteByte(msgReply)
@@ -599,19 +931,53 @@ func (s *Server) ImportRootObject(env *core.Env, addr, name string, expected *co
 // ---------------------------------------------------------------------
 // Connections.
 
-// conn is one TCP connection with multiplexed request/reply framing.
+// conn is one TCP connection with multiplexed request/reply framing and
+// heartbeat bookkeeping.
 type conn struct {
 	netc net.Conn
 	wmu  sync.Mutex
 
-	mu      sync.Mutex
-	pending map[uint64]chan *buffer.Buffer
-	nextID  uint64
-	dead    bool
+	helloed  chan struct{} // closed once the peer's hello arrives
+	done     chan struct{} // closed when the conn dies
+	lastRecv atomic.Int64  // unix nanos of the last frame received
+	lastSend atomic.Int64  // unix nanos of the last frame sent
+	pinging  atomic.Bool
+
+	mu        sync.Mutex
+	pending   map[uint64]chan *buffer.Buffer
+	nextID    uint64
+	dead      bool
+	helloDone bool
+	sess      *session // peer lease session; guarded by Server.mu
+	peerAddr  string   // peer's advertised listen address; set at hello
 }
 
 func newConn(netc net.Conn) *conn {
-	return &conn{netc: netc, pending: make(map[uint64]chan *buffer.Buffer), nextID: 1}
+	c := &conn{
+		netc:    netc,
+		pending: make(map[uint64]chan *buffer.Buffer),
+		nextID:  1,
+		helloed: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	now := time.Now().UnixNano()
+	c.lastRecv.Store(now)
+	c.lastSend.Store(now)
+	return c
+}
+
+// isDead reports whether the connection has failed.
+func (c *conn) isDead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// hasSession reports whether the session handshake completed.
+func (c *conn) hasSession() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.helloDone
 }
 
 // register allocates a request id and its reply channel.
@@ -652,7 +1018,11 @@ func (c *conn) deliver(id uint64, reply *buffer.Buffer) {
 func (c *conn) send(payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return writeFrame(c.netc, payload)
+	err := writeFrame(c.netc, payload)
+	if err == nil {
+		c.lastSend.Store(time.Now().UnixNano())
+	}
+	return err
 }
 
 // fail marks the connection dead and wakes all pending requests.
@@ -666,6 +1036,7 @@ func (c *conn) fail(err error) {
 	pending := c.pending
 	c.pending = make(map[uint64]chan *buffer.Buffer)
 	c.mu.Unlock()
+	close(c.done)
 	_ = c.netc.Close()
 	for _, ch := range pending {
 		close(ch)

@@ -14,10 +14,23 @@ import (
 // Wire protocol. Every message is a length-prefixed frame:
 //
 //	frame:   [len u32] [payload]
+//	hello:   [msgHello u8]   [instance u64] [epoch u64] [listenAddr string]
 //	call:    [msgCall u8]    [reqID u64] [key u64] [ctx] [wirebuf]
 //	reply:   [msgReply u8]   [reqID u64] [code u8] [wirebuf | errstring]
 //	release: [msgRelease u8] [key u64] [count uvarint]
 //	root:    [msgRoot u8]    [reqID u64] [name string]   (replied with msgReply)
+//	ping:    [msgPing u8]                (answered with msgPong)
+//	pong:    [msgPong u8]
+//
+// hello is the session handshake and MUST be each side's first frame:
+// instance is the sending server's random per-process identity, epoch its
+// per-connection counter, listenAddr its advertised address. The pair
+// (instance, epoch) names one peer session; the receiving exporter tags
+// every reference it hands this peer with the session, so that when the
+// peer dies or partitions past the lease grace period the references can
+// be reclaimed (see the package comment's failure semantics). ping/pong
+// are the heartbeat: a side that has sent nothing for a heartbeat
+// interval pings, and any received frame counts as proof of peer life.
 //
 // ctx is the invocation-context header: one flags byte, then the
 // remaining deadline budget and the trace identifier, each present only
@@ -42,6 +55,9 @@ const (
 	msgReply   = 2
 	msgRelease = 3
 	msgRoot    = 4
+	msgHello   = 5
+	msgPing    = 6
+	msgPong    = 7
 )
 
 // Reply codes, classifying the outcome of a forwarded door call so the
@@ -154,14 +170,16 @@ func readFrame(r io.Reader) ([]byte, error) {
 
 // putWireBuffer flattens buf into out, converting its door references to
 // descriptors through the exporting server. The door references are
-// consumed (transferred to the wire).
-func (s *Server) putWireBuffer(out *buffer.Buffer, buf *buffer.Buffer) error {
+// consumed (transferred to the wire); each exported reference is tagged
+// with the session of the connection it ships over, so it can be
+// reclaimed if that peer's lease expires.
+func (s *Server) putWireBuffer(out *buffer.Buffer, buf *buffer.Buffer, c *conn) error {
 	out.WriteUint32(uint32(len(buf.Bytes())))
 	out.WriteRaw(buf.Bytes())
 	doors := buf.TakeDoors()
 	out.WriteUvarint(uint64(len(doors)))
 	for _, slot := range doors {
-		desc, err := s.exportSlot(slot)
+		desc, err := s.exportSlot(slot, c)
 		if err != nil {
 			return err
 		}

@@ -91,8 +91,13 @@ func TestWireBufferRoundTrip(t *testing.T) {
 	}
 	in.WriteUint32(42)
 
+	// Exports are attributed to the session of the connection they ship
+	// over; fabricate one for this in-process round trip.
+	sess := &session{refs: make(map[uint64]int), conns: make(map[*conn]struct{})}
+	c := &conn{sess: sess, helloDone: true}
+
 	wire := buffer.New(128)
-	if err := srv.putWireBuffer(wire, in); err != nil {
+	if err := srv.putWireBuffer(wire, in, c); err != nil {
 		t.Fatal(err)
 	}
 	out, err := srv.getWireBuffer(wire)

@@ -211,6 +211,86 @@ func (s *Stats) snapshot() Snapshot {
 	return sn
 }
 
+// ---------------------------------------------------------------------
+// Named gauges.
+//
+// Alongside the per-subcontract counter blocks, the registry holds named
+// gauges for subsystem state that is not a per-call outcome — the network
+// door servers' liveness layer reports live connections, live export
+// entries, expired leases, reclaimed references, breaker transitions and
+// replayed releases through them. Like Stats, a Gauge is interned once
+// and cached by its user; updates are single atomic adds.
+
+// Gauge is one named int64 value. Monotonic event counts (leases expired,
+// releases replayed) and instantaneous levels (live connections) both use
+// it; the name says which it is.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the name the gauge was interned under.
+func (g *Gauge) Name() string { return g.name }
+
+// Add moves the gauge by d (negative to decrement a level).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Set stores an absolute value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+var gauges sync.Map // string -> *Gauge
+
+// GaugeFor interns and returns the named gauge. Callers cache the
+// pointer, as with For.
+func GaugeFor(name string) *Gauge {
+	if v, ok := gauges.Load(name); ok {
+		return v.(*Gauge)
+	}
+	v, _ := gauges.LoadOrStore(name, &Gauge{name: name})
+	return v.(*Gauge)
+}
+
+// GaugeSnapshot is one gauge's name and value at read time.
+type GaugeSnapshot struct {
+	Name  string
+	Value int64
+}
+
+// GaugeSnapshots returns every interned gauge with a nonzero value,
+// sorted by name.
+func GaugeSnapshots() []GaugeSnapshot {
+	var out []GaugeSnapshot
+	gauges.Range(func(_, v any) bool {
+		g := v.(*Gauge)
+		if val := g.v.Load(); val != 0 {
+			out = append(out, GaugeSnapshot{Name: g.name, Value: val})
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ---------------------------------------------------------------------
+
 // The process-wide registry. A sync.Map keeps For lock-free after a name's
 // first interning.
 var registry sync.Map // string -> *Stats
@@ -263,6 +343,10 @@ func Reset() {
 		s.latencyCount.Store(0)
 		return true
 	})
+	gauges.Range(func(_, v any) bool {
+		v.(*Gauge).v.Store(0)
+		return true
+	})
 }
 
 // WriteText writes the registry in a aligned human-readable table, one
@@ -270,7 +354,8 @@ func Reset() {
 // listing only occupied buckets.
 func WriteText(w io.Writer) error {
 	sns := Snapshots()
-	if len(sns) == 0 {
+	gsns := GaugeSnapshots()
+	if len(sns) == 0 && len(gsns) == 0 {
 		_, err := fmt.Fprintln(w, "scstats: no subcontract calls recorded")
 		return err
 	}
@@ -296,6 +381,11 @@ func WriteText(w io.Writer) error {
 			}
 		}
 		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, g := range gsns {
+		if _, err := fmt.Fprintf(w, "gauge %-24s %d\n", g.Name, g.Value); err != nil {
 			return err
 		}
 	}

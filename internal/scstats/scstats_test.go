@@ -140,3 +140,42 @@ func TestConcurrentRecording(t *testing.T) {
 		t.Fatalf("Calls = %d, want 8000", got)
 	}
 }
+
+func TestGauges(t *testing.T) {
+	Reset()
+	g := GaugeFor("test.live_things")
+	if g != GaugeFor("test.live_things") {
+		t.Fatal("GaugeFor interned two blocks for one name")
+	}
+	g.Add(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %d, want 2", got)
+	}
+	g.Set(7)
+	found := false
+	for _, sn := range GaugeSnapshots() {
+		if sn.Name == "test.live_things" {
+			found = true
+			if sn.Value != 7 {
+				t.Fatalf("snapshot value = %d, want 7", sn.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("nonzero gauge missing from snapshots")
+	}
+	if !strings.Contains(Text(), "gauge test.live_things") {
+		t.Fatalf("gauge missing from text exposition:\n%s", Text())
+	}
+	g.Set(0)
+	for _, sn := range GaugeSnapshots() {
+		if sn.Name == "test.live_things" {
+			t.Fatal("zero gauge present in snapshots")
+		}
+	}
+	var nilG *Gauge
+	nilG.Add(1)
+	nilG.Set(1)
+	_ = nilG.Value()
+}
