@@ -1,9 +1,10 @@
 # Verification tiers. tier1 is the build gate; tier2 adds static
 # analysis, the race detector (the scstats fast path and the netd
-# forward/cancel select are the interesting surfaces), and the fault
+# forward/cancel select are the interesting surfaces), the fault
 # suite — the liveness/partition tests under deterministic fault
-# injection (internal/faultnet).
-.PHONY: all tier1 tier2 faults bench gen
+# injection (internal/faultnet) — and a smoke pass over the E15
+# throughput benchmarks so they cannot silently rot.
+.PHONY: all tier1 tier2 faults bench bench-quick bench-all gen
 
 all: tier1 tier2
 
@@ -11,7 +12,7 @@ tier1:
 	go build ./...
 	go test ./...
 
-tier2: faults
+tier2: faults bench-quick
 	go vet ./...
 	go test -race ./...
 
@@ -21,7 +22,18 @@ faults:
 	go test -race -run 'Lease|Partition|Breaker|Fault|Sever|Truncat|Kill|Refus|Hung|Dead|Replay|Heartbeat|Reclaim' \
 		./internal/faultnet/ ./internal/netd/ ./internal/integration/
 
+# The E15 throughput sweep (parallelism × payload over loopback TCP),
+# recorded as JSON. An existing BENCH_netd.json's baseline is preserved,
+# so the file carries before/after numbers across optimization PRs.
 bench:
+	go test -run NONE -bench 'E15' -benchmem . | tee /tmp/bench_e15.out
+	go run ./cmd/benchjson -o BENCH_netd.json < /tmp/bench_e15.out
+
+# One-iteration smoke: the benchmarks still compile and run.
+bench-quick:
+	go test -run NONE -bench 'E15' -benchtime 1x .
+
+bench-all:
 	go test -bench=. -benchmem
 
 gen:

@@ -79,6 +79,19 @@ func BenchmarkE14_WithDeadline_0B(b *testing.B)   { bench.E14Call("deadline", 0)
 func BenchmarkE14_FullContext_0B(b *testing.B)    { bench.E14Call("full", 0)(b) }
 func BenchmarkE14_WithDeadline_1KiB(b *testing.B) { bench.E14Call("deadline", 1024)(b) }
 
+// E15 — netd pipelined throughput over loopback TCP: parallelism ∈
+// {1, 8, 64} concurrent callers × payload ∈ {0, 1 KiB, 64 KiB}. `make
+// bench` runs this sweep and records it in BENCH_netd.json.
+func BenchmarkE15_Throughput_P1_0B(b *testing.B)     { bench.E15Throughput(1, 0)(b) }
+func BenchmarkE15_Throughput_P1_1KiB(b *testing.B)   { bench.E15Throughput(1, 1024)(b) }
+func BenchmarkE15_Throughput_P1_64KiB(b *testing.B)  { bench.E15Throughput(1, 65536)(b) }
+func BenchmarkE15_Throughput_P8_0B(b *testing.B)     { bench.E15Throughput(8, 0)(b) }
+func BenchmarkE15_Throughput_P8_1KiB(b *testing.B)   { bench.E15Throughput(8, 1024)(b) }
+func BenchmarkE15_Throughput_P8_64KiB(b *testing.B)  { bench.E15Throughput(8, 65536)(b) }
+func BenchmarkE15_Throughput_P64_0B(b *testing.B)    { bench.E15Throughput(64, 0)(b) }
+func BenchmarkE15_Throughput_P64_1KiB(b *testing.B)  { bench.E15Throughput(64, 1024)(b) }
+func BenchmarkE15_Throughput_P64_64KiB(b *testing.B) { bench.E15Throughput(64, 65536)(b) }
+
 // E10 — §6.1/§6.2: compatible-subcontract discovery, cold vs warm.
 func BenchmarkE10_Discovery_Cold(b *testing.B) { bench.E10DiscoveryCold(b) }
 func BenchmarkE10_Discovery_Warm(b *testing.B) { bench.E10DiscoveryWarm(b) }

@@ -1,0 +1,123 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a JSON benchmark record, preserving a baseline across runs so the
+// file carries before/after numbers.
+//
+// Usage:
+//
+//	go test -run NONE -bench E15 -benchmem . | benchjson -o BENCH_netd.json
+//
+// On the first run the parsed results are stored as both "baseline" and
+// "current". On later runs an existing file's baseline is preserved and
+// only "current" is replaced — so the committed artifact records the
+// pre-change numbers next to the latest ones. Pass -rebaseline to promote
+// the new run to the baseline as well.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// File is the on-disk schema.
+type File struct {
+	Experiment string   `json:"experiment"`
+	Note       string   `json:"note,omitempty"`
+	Baseline   []Result `json:"baseline"`
+	Current    []Result `json:"current"`
+}
+
+var (
+	out        = flag.String("o", "", "output JSON file (default stdout)")
+	experiment = flag.String("experiment", "E15 netd pipelined throughput (loopback TCP)", "experiment label")
+	note       = flag.String("note", "", "free-form note stored in the file")
+	rebaseline = flag.Bool("rebaseline", false, "promote this run to the baseline too")
+)
+
+// benchLine matches e.g.
+//
+//	BenchmarkE15_Throughput_P64_0B-8   12345   9876 ns/op   512 B/op   4 allocs/op   101234 calls/s
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parse(lines []string) []Result {
+	var results []Result
+	for _, line := range lines {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: m[1], Iters: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+func main() {
+	flag.Parse()
+	var lines []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	current := parse(lines)
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	f := File{Experiment: *experiment, Note: *note, Baseline: current, Current: current}
+	if *out != "" && !*rebaseline {
+		if prev, err := os.ReadFile(*out); err == nil {
+			var old File
+			if json.Unmarshal(prev, &old) == nil && len(old.Baseline) > 0 {
+				f.Baseline = old.Baseline
+				if f.Note == "" {
+					f.Note = old.Note
+				}
+			}
+		}
+	}
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(current), *out)
+}

@@ -137,6 +137,17 @@ func main() {
 	fmt.Printf("  => attaching a deadline adds %.0f ns to a minimal call\n",
 		nsPerOp(dl)-nsPerOp(bare))
 
+	section("E15 netd pipelined throughput over loopback TCP (calls/s)")
+	run("1 caller, 0B", bench.E15Throughput(1, 0))
+	seq := run("1 caller, 1KiB", bench.E15Throughput(1, 1024))
+	run("8 callers, 0B", bench.E15Throughput(8, 0))
+	run("8 callers, 1KiB", bench.E15Throughput(8, 1024))
+	run("64 callers, 0B", bench.E15Throughput(64, 0))
+	pipe := run("64 callers, 1KiB", bench.E15Throughput(64, 1024))
+	run("64 callers, 64KiB", bench.E15Throughput(64, 65536))
+	fmt.Printf("  => pipelining 64 callers over one connection lifts throughput %.1fx over serial calls\n",
+		nsPerOp(seq)/nsPerOp(pipe))
+
 	if *stats {
 		fmt.Println("\nper-subcontract metrics (scstats)")
 		fmt.Print(scstats.Text())

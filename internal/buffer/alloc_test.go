@@ -1,0 +1,36 @@
+package buffer
+
+import "testing"
+
+func TestPooledRoundTripAllocs(t *testing.T) {
+	// ISSUE 3 acceptance: a Get/write/Put round trip through the pool
+	// must not allocate in steady state — this is the frame-assembly
+	// path every netd send takes.
+	n := testing.AllocsPerRun(500, func() {
+		b := Get(128)
+		b.WriteByte(1)
+		b.WriteUint64(42)
+		b.WriteString("payload")
+		Put(b)
+	})
+	if n > 0 {
+		t.Fatalf("pooled round trip allocates %.1f objects/op, want 0", n)
+	}
+}
+
+func TestPutClearsDoors(t *testing.T) {
+	// A recycled buffer must not pin door references from its previous
+	// life: Reset (and therefore Put) clears the doors backing array
+	// before truncating it, so the pool cannot keep dropped references
+	// reachable.
+	b := New(16)
+	b.WriteDoor("a door reference")
+	backing := b.doors[:1]
+	b.Reset()
+	if backing[0] != nil {
+		t.Fatalf("Reset left door slot populated: %v", backing[0])
+	}
+	if len(b.doors) != 0 {
+		t.Fatalf("reset buffer carries %d doors", len(b.doors))
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Door is an opaque door reference slot. The kernel and the network door
@@ -62,6 +63,38 @@ func New(n int) *Buffer {
 	return &Buffer{data: make([]byte, 0, n)}
 }
 
+// pool recycles Buffers for the marshal hot paths (netd frame assembly,
+// reply payloads). Capacity is retained across uses up to maxPooledCap so
+// a steady-state small call allocates nothing.
+var pool = sync.Pool{New: func() any { return &Buffer{} }}
+
+// maxPooledCap bounds the byte capacity a pooled buffer may retain; a
+// buffer grown past it (one giant frame) is dropped to the collector
+// rather than pinning the memory in the pool.
+const maxPooledCap = 256 << 10
+
+// Get returns an empty buffer from the process-wide pool, grown to at
+// least capacity hint n. Release it with Put when its contents are dead.
+func Get(n int) *Buffer {
+	b := pool.Get().(*Buffer)
+	if cap(b.data) < n {
+		b.data = make([]byte, 0, n)
+	}
+	return b
+}
+
+// Put resets b and returns it to the pool. The caller must own b
+// exclusively and must not use it afterwards; as with Reset, any
+// unconsumed door references are dropped, so release them first. Put is
+// safe on buffers not obtained from Get (and on nil, a no-op).
+func Put(b *Buffer) {
+	if b == nil || cap(b.data) > maxPooledCap {
+		return
+	}
+	b.Reset()
+	pool.Put(b)
+}
+
 // FromParts reconstructs a buffer from a byte stream and a door slice, as
 // produced by Bytes and Doors on the sending side. The slices are adopted,
 // not copied.
@@ -90,6 +123,7 @@ func (b *Buffer) DoorCount() int { return len(b.doors) }
 func (b *Buffer) Reset() {
 	b.data = b.data[:0]
 	b.rpos = 0
+	clear(b.doors) // don't let a recycled buffer pin dropped references
 	b.doors = b.doors[:0]
 	b.dcursor = 0
 }

@@ -1,6 +1,7 @@
 package netd
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/buffer"
@@ -28,6 +29,15 @@ var (
 	gBreakerClosed    = scstats.GaugeFor("netd.breaker_closed")
 	gReleasesQueued   = scstats.GaugeFor("netd.releases_queued")
 	gReleasesReplayed = scstats.GaugeFor("netd.releases_replayed")
+)
+
+// Data-path gauges (E15): the frames currently queued behind connection
+// writers, and the flush/coalescing counters whose ratio is the mean
+// frames-per-write the batching achieves.
+var (
+	gSendQueueDepth  = scstats.GaugeFor("netd.sendq_depth")
+	gFlushes         = scstats.GaugeFor("netd.flushes")
+	gFramesCoalesced = scstats.GaugeFor("netd.frames_coalesced")
 )
 
 // session is one remote peer's lease on this exporter: every reference
@@ -68,7 +78,10 @@ type peerState struct {
 	// exporter must be presumed to have reclaimed our references, so the
 	// import epoch is bumped — poisoning every proxy door minted under
 	// the old epoch — and the queued releases are dropped as moot.
-	epoch     uint64
+	// epoch is atomic so proxy doors can check poisoning without taking
+	// s.mu on every forwarded call (peerState pointers are stable: the
+	// peers map only grows).
+	epoch     atomic.Uint64
 	downSince time.Time
 	lapsed    bool
 	queue     []pendingRelease
@@ -194,12 +207,12 @@ func (s *Server) handleHello(c *conn, instance, epoch uint64, listenAddr string)
 
 // sendHello sends this server's handshake frame on c.
 func (s *Server) sendHello(c *conn, epoch uint64) error {
-	payload := buffer.New(32)
+	payload := buffer.Get(32)
 	payload.WriteByte(msgHello)
 	payload.WriteUint64(s.instance)
 	payload.WriteUint64(epoch)
 	payload.WriteString(s.addr)
-	return c.send(payload.Bytes())
+	return c.send(payload)
 }
 
 // connClosed is the single teardown path for a connection, run when its
@@ -285,11 +298,14 @@ func (s *Server) heartbeat(now time.Time) {
 		}
 		idle := now.Sub(time.Unix(0, c.lastSend.Load()))
 		if idle >= s.hbInterval && c.pinging.CompareAndSwap(false, true) {
+			// Off the sweeper goroutine: enqueueing can block behind a
+			// stalled socket write, and the sweeper must keep serving
+			// the other connections' liveness clocks.
 			go func(c *conn) {
 				defer c.pinging.Store(false)
-				ping := buffer.New(1)
+				ping := buffer.Get(1)
 				ping.WriteByte(msgPing)
-				_ = c.send(ping.Bytes())
+				_ = c.send(ping)
 			}(c)
 		}
 	}
@@ -347,7 +363,7 @@ func (s *Server) expireImports(now time.Time) {
 			continue
 		}
 		p.lapsed = true
-		p.epoch++
+		p.epoch.Add(1)
 		if n := len(p.queue); n > 0 {
 			p.queue = nil
 			gReleasesQueued.Add(int64(-n))
@@ -395,11 +411,22 @@ func (s *Server) flushReleases(c *conn, addr string) {
 	p.queue = nil
 	s.mu.Unlock()
 	for i, r := range q {
-		payload := buffer.New(32)
+		payload := buffer.Get(32)
 		payload.WriteByte(msgRelease)
 		payload.WriteUint64(r.key)
 		payload.WriteUvarint(uint64(r.count))
-		if err := c.send(payload.Bytes()); err != nil {
+		rel := r
+		err := c.sendDrop(payload, func() {
+			// The frame was queued but the connection died before it
+			// was flushed: put the release back unless the import epoch
+			// already lapsed (then it is moot).
+			s.mu.Lock()
+			if !s.closed && !p.lapsed {
+				s.queueReleaseLocked(p, rel.key, rel.count)
+			}
+			s.mu.Unlock()
+		})
+		if err != nil {
 			s.mu.Lock()
 			p.queue = append(q[i:], p.queue...)
 			s.mu.Unlock()

@@ -49,12 +49,12 @@
 package netd
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"math/rand/v2"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/buffer"
@@ -184,14 +184,29 @@ type Server struct {
 	nextKey   uint64
 	nextEpoch uint64
 	roots     map[string]*core.Object
-	conns     map[string]*conn    // dialled, pooled by address
-	allConns  map[*conn]struct{}  // every live connection, for teardown
-	sessions  map[uint64]*session // peer instance → lease session
+	conns     map[string]*conn       // dialled, pooled by address
+	allConns  map[*conn]struct{}     // every live connection, for teardown
+	dialing   map[string]*dialFlight // singleflight: one dial per address
+	sessions  map[uint64]*session    // peer instance → lease session
 	peers     map[string]*peerState
 	closed    bool
 
+	// connCache mirrors conns for the lock-free forward fast path; it is
+	// maintained under mu at every conns mutation and may only lag by
+	// holding a dead conn (callers re-check liveness) or missing one.
+	connCache sync.Map
+
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// dialFlight is one in-progress dial that concurrent callers for the
+// same address wait on instead of dialling themselves (and instead of
+// each reporting a spurious outcome to the circuit breaker).
+type dialFlight struct {
+	done chan struct{} // closed once c/err are set
+	c    *conn
+	err  error
 }
 
 // Start launches a network door server for dom's kernel with default
@@ -227,6 +242,7 @@ func StartConfig(dom *kernel.Domain, listenAddr string, cfg Config) (*Server, er
 		roots:       make(map[string]*core.Object),
 		conns:       make(map[string]*conn),
 		allConns:    make(map[*conn]struct{}),
+		dialing:     make(map[string]*dialFlight),
 		sessions:    make(map[uint64]*session),
 		peers:       make(map[string]*peerState),
 		stop:        make(chan struct{}),
@@ -266,6 +282,10 @@ func (s *Server) Close() error {
 	s.conns = make(map[string]*conn)
 	s.allConns = make(map[*conn]struct{})
 	s.sessions = make(map[uint64]*session)
+	s.connCache.Range(func(k, _ any) bool {
+		s.connCache.Delete(k)
+		return true
+	})
 	s.mu.Unlock()
 
 	close(s.stop)
@@ -347,12 +367,16 @@ func (s *Server) importDesc(desc descriptor) (kernel.Ref, error) {
 		return ref, nil
 	}
 	s.mu.Lock()
-	epoch := s.peerLocked(desc.Addr).epoch
+	p := s.peerLocked(desc.Addr)
+	epoch := p.epoch.Load()
 	s.mu.Unlock()
+	// The peerState pointer is captured so the per-call poison check is
+	// one atomic load, not a trip through s.mu; peer entries are never
+	// removed, so the pointer stays valid for the proxy's lifetime.
 	proc := func(req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
-		return s.forward(desc, epoch, req, info)
+		return s.forward(desc, p, epoch, req, info)
 	}
-	unref := func() { s.release(desc, epoch, 1) }
+	unref := func() { s.release(desc, p, epoch, 1) }
 	h, _ := s.dom.CreateDoorInfo(proc, unref)
 	ref, err := s.dom.RefOf(h)
 	if err != nil {
@@ -436,17 +460,17 @@ func (s *Server) releaseAnyLocked(key uint64, count int) {
 }
 
 // release notifies a remote exporter that count references died here. If
-// the peer is unreachable the release is queued and replayed by the
-// sweeper once the peer returns; if our lease there has lapsed the
-// exporter already reclaimed the references and the message is moot.
-func (s *Server) release(desc descriptor, epoch uint64, count int) {
+// the peer is unreachable — or the connection dies with the frame still
+// queued — the release is requeued and replayed by the sweeper once the
+// peer returns; if our lease there has lapsed the exporter already
+// reclaimed the references and the message is moot.
+func (s *Server) release(desc descriptor, p *peerState, epoch uint64, count int) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return
 	}
-	p := s.peerLocked(desc.Addr)
-	if p.epoch != epoch {
+	if p.epoch.Load() != epoch {
 		s.mu.Unlock()
 		return
 	}
@@ -457,16 +481,19 @@ func (s *Server) release(desc descriptor, epoch uint64, count int) {
 		return
 	}
 	s.mu.Unlock()
-	payload := buffer.New(32)
+	payload := buffer.Get(32)
 	payload.WriteByte(msgRelease)
 	payload.WriteUint64(desc.Key)
 	payload.WriteUvarint(uint64(count))
-	if err := c.send(payload.Bytes()); err != nil {
+	requeue := func() {
 		s.mu.Lock()
-		if p.epoch == epoch {
+		if !s.closed && p.epoch.Load() == epoch {
 			s.queueReleaseLocked(p, desc.Key, count)
 		}
 		s.mu.Unlock()
+	}
+	if err := c.sendDrop(payload, requeue); err != nil {
+		requeue()
 	}
 }
 
@@ -485,40 +512,41 @@ func (s *Server) Exports() int {
 // aborts before anything is sent, the wire header ships the remaining
 // budget so the server machine inherits it, and the reply wait is bounded
 // by min(s.Timeout, remaining budget) and by the cancellation channel.
-func (s *Server) forward(desc descriptor, epoch uint64, req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
+func (s *Server) forward(desc descriptor, p *peerState, epoch uint64, req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
 	begin := stats.Begin()
-	reply, err := s.forwardInfo(desc, epoch, req, info)
+	reply, err := s.forwardInfo(desc, p, epoch, req, info)
 	stats.End(begin, err)
 	return reply, err
 }
 
-func (s *Server) forwardInfo(desc descriptor, epoch uint64, req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
+func (s *Server) forwardInfo(desc descriptor, p *peerState, epoch uint64, req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
 	if err := info.Err(); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	poisoned := s.peerLocked(desc.Addr).epoch != epoch
-	s.mu.Unlock()
-	if poisoned {
+	if p.epoch.Load() != epoch {
 		return nil, fmt.Errorf("%w: proxy door to %s: %w", kernel.ErrCommFailure, desc.Addr, ErrLeaseExpired)
 	}
 	c, err := s.getConn(desc.Addr)
 	if err != nil {
 		return nil, err
 	}
-	payload := buffer.New(64 + req.Size())
+	payload := buffer.Get(64 + req.Size())
 	payload.WriteByte(msgCall)
 	reqID, ch := c.register()
 	payload.WriteUint64(reqID)
 	payload.WriteUint64(desc.Key)
 	putInfoHeader(payload, info)
 	if err := s.putWireBuffer(payload, req, c); err != nil {
-		c.unregister(reqID)
+		if c.unregister(reqID) {
+			putReplyChan(ch)
+		}
+		buffer.Put(payload)
 		return nil, err
 	}
-	if err := c.send(payload.Bytes()); err != nil {
-		c.unregister(reqID)
-		c.fail(commErr("send to %s: %v", desc.Addr, err))
+	if err := c.send(payload); err != nil {
+		if c.unregister(reqID) {
+			putReplyChan(ch)
+		}
 		return nil, commErr("send to %s: %v", desc.Addr, err)
 	}
 	wait := s.Timeout
@@ -531,19 +559,26 @@ func (s *Server) forwardInfo(desc descriptor, epoch uint64, req *buffer.Buffer, 
 	if info != nil {
 		cancel = info.Cancel
 	}
-	timer := time.NewTimer(wait)
-	defer timer.Stop()
+	timer := getTimer(wait)
 	select {
 	case reply, ok := <-ch:
+		putTimer(timer)
 		if !ok {
 			return nil, commErr("connection to %s lost", desc.Addr)
 		}
+		putReplyChan(ch)
 		return s.parseReply(reply, desc)
 	case <-cancel:
-		c.unregister(reqID)
+		putTimer(timer)
+		if c.unregister(reqID) {
+			putReplyChan(ch)
+		}
 		return nil, fmt.Errorf("netd: call to %s: %w", desc.Addr, kernel.ErrCancelled)
 	case <-timer.C:
-		c.unregister(reqID)
+		putTimer(timer)
+		if c.unregister(reqID) {
+			putReplyChan(ch)
+		}
 		if deadlineBounded {
 			return nil, fmt.Errorf("netd: call to %s: %w", desc.Addr, kernel.ErrDeadlineExceeded)
 		}
@@ -575,52 +610,93 @@ func (s *Server) parseReply(reply *buffer.Buffer, desc descriptor) (*buffer.Buff
 }
 
 // getConn returns the pooled connection to addr, establishing (with the
-// session handshake) if needed. Dead connections are pruned from the
-// pool so the next call redials instead of failing on a corpse; dials
-// are admitted by the per-address circuit breaker.
+// session handshake) if needed. The steady-state lookup is one sync.Map
+// load plus an atomic liveness check — no lock, no contention with other
+// callers or the liveness sweeper.
 func (s *Server) getConn(addr string) (*conn, error) {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil, ErrClosed
-	}
-	if c, ok := s.conns[addr]; ok {
-		if !c.isDead() {
-			s.mu.Unlock()
+	if v, ok := s.connCache.Load(addr); ok {
+		if c := v.(*conn); !c.isDead() {
 			return c, nil
 		}
-		delete(s.conns, addr) // pool hygiene: never hand out a dead conn
 	}
-	p := s.peerLocked(addr)
-	if !s.breakerAdmitLocked(p, time.Now()) {
-		until := time.Until(p.openUntil).Round(time.Millisecond)
-		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s: %w (next probe in %v)", kernel.ErrCommFailure, addr, ErrBreakerOpen, until)
-	}
-	s.mu.Unlock()
+	return s.getConnSlow(addr)
+}
 
-	c, err := s.dialAndHello(addr)
-	s.mu.Lock()
-	p = s.peerLocked(addr)
-	if err != nil {
-		s.breakerFailLocked(p)
+// getConnSlow establishes (or waits for) the connection to addr. Dead
+// connections are pruned from the pool so the next call redials instead
+// of failing on a corpse; dials are admitted by the per-address circuit
+// breaker; and concurrent cold calls to one address share a single dial
+// (singleflight) instead of stampeding — so one dial's outcome is
+// reported to the breaker exactly once, and no handshake is wasted.
+func (s *Server) getConnSlow(addr string) (*conn, error) {
+	for attempt := 0; ; attempt++ {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if c, ok := s.conns[addr]; ok {
+			if !c.isDead() {
+				s.mu.Unlock()
+				return c, nil
+			}
+			delete(s.conns, addr) // pool hygiene: never hand out a dead conn
+			s.connCache.Delete(addr)
+		}
+		if f, ok := s.dialing[addr]; ok {
+			s.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-s.stop:
+				return nil, ErrClosed
+			}
+			if f.err != nil {
+				return nil, f.err
+			}
+			if !f.c.isDead() {
+				return f.c, nil
+			}
+			if attempt >= 1 {
+				return nil, commErr("connection to %s lost", addr)
+			}
+			continue // the shared dial's conn died already; try once more
+		}
+		p := s.peerLocked(addr)
+		if !s.breakerAdmitLocked(p, time.Now()) {
+			until := time.Until(p.openUntil).Round(time.Millisecond)
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s: %w (next probe in %v)", kernel.ErrCommFailure, addr, ErrBreakerOpen, until)
+		}
+		f := &dialFlight{done: make(chan struct{})}
+		s.dialing[addr] = f
 		s.mu.Unlock()
-		return nil, err
-	}
-	s.breakerOKLocked(p)
-	if s.closed {
+
+		c, err := s.dialAndHello(addr)
+		s.mu.Lock()
+		delete(s.dialing, addr)
+		p = s.peerLocked(addr)
+		if err != nil {
+			s.breakerFailLocked(p)
+		} else {
+			s.breakerOKLocked(p)
+			if s.closed {
+				err = ErrClosed
+			} else {
+				s.conns[addr] = c
+				s.connCache.Store(addr, c)
+			}
+		}
+		f.c, f.err = c, err
 		s.mu.Unlock()
-		c.fail(ErrClosed)
-		return nil, ErrClosed
+		close(f.done)
+		if err != nil {
+			if c != nil {
+				c.fail(ErrClosed)
+			}
+			return nil, err
+		}
+		return c, nil
 	}
-	if old, ok := s.conns[addr]; ok && !old.isDead() {
-		s.mu.Unlock()
-		c.fail(ErrClosed) // lost a dial race; use the established conn
-		return old, nil
-	}
-	s.conns[addr] = c
-	s.mu.Unlock()
-	return c, nil
 }
 
 // dialAndHello dials addr (bounded by DialTimeout), starts the read
@@ -631,11 +707,11 @@ func (s *Server) dialAndHello(addr string) (*conn, error) {
 	if err != nil {
 		return nil, commErr("dial %s: %v", addr, err)
 	}
-	c := newConn(netc)
+	c := s.newConn(netc)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		_ = netc.Close()
+		c.fail(ErrClosed)
 		return nil, ErrClosed
 	}
 	s.allConns[c] = struct{}{}
@@ -698,11 +774,11 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
-		c := newConn(netc)
+		c := s.newConn(netc)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			_ = netc.Close()
+			c.fail(ErrClosed)
 			return
 		}
 		s.allConns[c] = struct{}{}
@@ -725,9 +801,14 @@ func (s *Server) acceptLoop() {
 // peer that skips it is violating the protocol and is cut off). addr is
 // the pool key for dialled connections ("" for accepted ones).
 func (s *Server) serveConn(c *conn, addr string) {
+	// Buffered reads are the receive half of the write coalescing: a
+	// peer's flush arrives as one TCP segment train, and the buffered
+	// reader drains many frames per read syscall instead of paying two
+	// (header, payload) each.
+	br := bufio.NewReaderSize(c.netc, 64<<10)
 loop:
 	for {
-		frame, err := readFrame(c.netc)
+		frame, err := readFrame(br)
 		if err != nil {
 			break
 		}
@@ -747,9 +828,9 @@ loop:
 			}
 			s.handleHello(c, instance, epoch, listenAddr)
 		case msgPing:
-			pong := buffer.New(1)
+			pong := buffer.Get(1)
 			pong.WriteByte(msgPong)
-			_ = c.send(pong.Bytes())
+			_ = c.send(pong)
 		case msgPong:
 			// lastRecv above is all a pong is for.
 		case msgReply:
@@ -847,7 +928,11 @@ func (s *Server) handleCall(c *conn, reqID, key uint64, req *buffer.Buffer, info
 
 // reply sends a reply frame for reqID.
 func (s *Server) reply(c *conn, reqID uint64, code byte, out *buffer.Buffer, errMsg string) {
-	payload := buffer.New(64)
+	size := 64
+	if out != nil {
+		size += out.Size()
+	}
+	payload := buffer.Get(size)
 	payload.WriteByte(msgReply)
 	payload.WriteUint64(reqID)
 	payload.WriteByte(code)
@@ -864,7 +949,7 @@ func (s *Server) reply(c *conn, reqID uint64, code byte, out *buffer.Buffer, err
 	case codeError:
 		payload.WriteString(errMsg)
 	}
-	_ = c.send(payload.Bytes())
+	_ = c.send(payload)
 }
 
 // ---------------------------------------------------------------------
@@ -888,12 +973,14 @@ func (s *Server) handleRoot(c *conn, reqID uint64, name string) {
 		s.reply(c, reqID, codeError, nil, ErrNoRoot.Error()+": "+name)
 		return
 	}
-	tmp := buffer.New(64)
+	tmp := buffer.Get(64)
 	if err := obj.MarshalCopy(tmp); err != nil {
+		buffer.Put(tmp)
 		s.reply(c, reqID, codeError, nil, err.Error())
 		return
 	}
 	s.reply(c, reqID, codeOK, tmp, "")
+	buffer.Put(tmp) // putWireBuffer copied the bytes and took the doors
 }
 
 // ImportRootObject fetches the named root object from the server at addr
@@ -903,142 +990,35 @@ func (s *Server) ImportRootObject(env *core.Env, addr, name string, expected *co
 	if err != nil {
 		return nil, err
 	}
-	payload := buffer.New(32)
+	payload := buffer.Get(32)
 	payload.WriteByte(msgRoot)
 	reqID, ch := c.register()
 	payload.WriteUint64(reqID)
 	payload.WriteString(name)
-	if err := c.send(payload.Bytes()); err != nil {
-		c.unregister(reqID)
+	if err := c.send(payload); err != nil {
+		if c.unregister(reqID) {
+			putReplyChan(ch)
+		}
 		return nil, commErr("send to %s: %v", addr, err)
 	}
+	timer := getTimer(s.Timeout)
 	select {
 	case reply, ok := <-ch:
+		putTimer(timer)
 		if !ok {
 			return nil, commErr("connection to %s lost", addr)
 		}
+		putReplyChan(ch)
 		buf, err := s.parseReply(reply, descriptor{Addr: addr})
 		if err != nil {
 			return nil, err
 		}
 		return core.Unmarshal(env, expected, buf)
-	case <-time.After(s.Timeout):
-		c.unregister(reqID)
+	case <-timer.C:
+		putTimer(timer)
+		if c.unregister(reqID) {
+			putReplyChan(ch)
+		}
 		return nil, commErr("root fetch from %s timed out", addr)
-	}
-}
-
-// ---------------------------------------------------------------------
-// Connections.
-
-// conn is one TCP connection with multiplexed request/reply framing and
-// heartbeat bookkeeping.
-type conn struct {
-	netc net.Conn
-	wmu  sync.Mutex
-
-	helloed  chan struct{} // closed once the peer's hello arrives
-	done     chan struct{} // closed when the conn dies
-	lastRecv atomic.Int64  // unix nanos of the last frame received
-	lastSend atomic.Int64  // unix nanos of the last frame sent
-	pinging  atomic.Bool
-
-	mu        sync.Mutex
-	pending   map[uint64]chan *buffer.Buffer
-	nextID    uint64
-	dead      bool
-	helloDone bool
-	sess      *session // peer lease session; guarded by Server.mu
-	peerAddr  string   // peer's advertised listen address; set at hello
-}
-
-func newConn(netc net.Conn) *conn {
-	c := &conn{
-		netc:    netc,
-		pending: make(map[uint64]chan *buffer.Buffer),
-		nextID:  1,
-		helloed: make(chan struct{}),
-		done:    make(chan struct{}),
-	}
-	now := time.Now().UnixNano()
-	c.lastRecv.Store(now)
-	c.lastSend.Store(now)
-	return c
-}
-
-// isDead reports whether the connection has failed.
-func (c *conn) isDead() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.dead
-}
-
-// hasSession reports whether the session handshake completed.
-func (c *conn) hasSession() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.helloDone
-}
-
-// register allocates a request id and its reply channel.
-func (c *conn) register() (uint64, chan *buffer.Buffer) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	id := c.nextID
-	c.nextID++
-	ch := make(chan *buffer.Buffer, 1)
-	if c.dead {
-		close(ch)
-		return id, ch
-	}
-	c.pending[id] = ch
-	return id, ch
-}
-
-func (c *conn) unregister(id uint64) {
-	c.mu.Lock()
-	delete(c.pending, id)
-	c.mu.Unlock()
-}
-
-// deliver completes a pending request.
-func (c *conn) deliver(id uint64, reply *buffer.Buffer) {
-	c.mu.Lock()
-	ch, ok := c.pending[id]
-	if ok {
-		delete(c.pending, id)
-	}
-	c.mu.Unlock()
-	if ok {
-		ch <- reply
-	}
-}
-
-// send writes one frame, serializing concurrent writers.
-func (c *conn) send(payload []byte) error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	err := writeFrame(c.netc, payload)
-	if err == nil {
-		c.lastSend.Store(time.Now().UnixNano())
-	}
-	return err
-}
-
-// fail marks the connection dead and wakes all pending requests.
-func (c *conn) fail(err error) {
-	c.mu.Lock()
-	if c.dead {
-		c.mu.Unlock()
-		return
-	}
-	c.dead = true
-	pending := c.pending
-	c.pending = make(map[uint64]chan *buffer.Buffer)
-	c.mu.Unlock()
-	close(c.done)
-	_ = c.netc.Close()
-	for _, ch := range pending {
-		close(ch)
 	}
 }

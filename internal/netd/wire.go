@@ -196,12 +196,13 @@ func (s *Server) getWireBuffer(in *buffer.Buffer) (*buffer.Buffer, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The returned buffer aliases the frame's bytes rather than copying
+	// them: the frame was allocated by readFrame for this message alone,
+	// and it stays reachable exactly as long as the buffer does.
 	bytes, err := in.ReadRaw(int(n))
 	if err != nil {
 		return nil, err
 	}
-	data := make([]byte, len(bytes))
-	copy(data, bytes)
 	nd, err := in.ReadUvarint()
 	if err != nil {
 		return nil, err
@@ -222,7 +223,7 @@ func (s *Server) getWireBuffer(in *buffer.Buffer) (*buffer.Buffer, error) {
 		}
 		doors = append(doors, ref)
 	}
-	return buffer.FromParts(data, doors), nil
+	return buffer.FromParts(bytes, doors), nil
 }
 
 // dialer abstracts net.Dial for tests.
