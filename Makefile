@@ -2,8 +2,8 @@
 # analysis, the race detector (the scstats fast path and the netd
 # forward/cancel select are the interesting surfaces), the fault
 # suite — the liveness/partition tests under deterministic fault
-# injection (internal/faultnet) — and a smoke pass over the E15
-# throughput benchmarks so they cannot silently rot.
+# injection (internal/faultnet) — and a smoke pass over the E15/E16
+# benchmark suites so they cannot silently rot.
 .PHONY: all tier1 tier2 faults bench bench-quick bench-all gen
 
 all: tier1 tier2
@@ -22,16 +22,21 @@ faults:
 	go test -race -run 'Lease|Partition|Breaker|Fault|Sever|Truncat|Kill|Refus|Hung|Dead|Replay|Heartbeat|Reclaim' \
 		./internal/faultnet/ ./internal/netd/ ./internal/integration/
 
-# The E15 throughput sweep (parallelism × payload over loopback TCP),
-# recorded as JSON. An existing BENCH_netd.json's baseline is preserved,
-# so the file carries before/after numbers across optimization PRs.
+# The E15 throughput sweep (parallelism × payload over loopback TCP) and
+# the E16 local-path sweep (null door calls, refcount churn, cache-hit
+# mixes), recorded as JSON. Existing baselines in BENCH_netd.json /
+# BENCH_cache.json are preserved, so each file carries before/after
+# numbers across optimization PRs.
 bench:
 	go test -run NONE -bench 'E15' -benchmem . | tee /tmp/bench_e15.out
 	go run ./cmd/benchjson -o BENCH_netd.json < /tmp/bench_e15.out
+	go test -run NONE -bench 'E16' -benchmem . | tee /tmp/bench_e16.out
+	go run ./cmd/benchjson -experiment 'E16 lock-free local door path + scalable cache manager (intra-machine)' \
+		-o BENCH_cache.json < /tmp/bench_e16.out
 
 # One-iteration smoke: the benchmarks still compile and run.
 bench-quick:
-	go test -run NONE -bench 'E15' -benchtime 1x .
+	go test -run NONE -bench 'E15|E16' -benchtime 1x .
 
 bench-all:
 	go test -bench=. -benchmem

@@ -92,6 +92,23 @@ func BenchmarkE15_Throughput_P64_0B(b *testing.B)    { bench.E15Throughput(64, 0
 func BenchmarkE15_Throughput_P64_1KiB(b *testing.B)  { bench.E15Throughput(64, 1024)(b) }
 func BenchmarkE15_Throughput_P64_64KiB(b *testing.B) { bench.E15Throughput(64, 65536)(b) }
 
+// E16 — lock-free local door path + cache manager scalability: null
+// local door call, door refcount round trip, and cached-read throughput
+// (hot / cold / invalidating mixes) at parallelism ∈ {1, 8, 64}. `make
+// bench` runs this sweep and records it in BENCH_cache.json.
+func BenchmarkE16_NullLocalCall_P1(b *testing.B)    { bench.E16NullLocalCall(1)(b) }
+func BenchmarkE16_NullLocalCall_P8(b *testing.B)    { bench.E16NullLocalCall(8)(b) }
+func BenchmarkE16_NullLocalCall_P64(b *testing.B)   { bench.E16NullLocalCall(64)(b) }
+func BenchmarkE16_DupRelease_P1(b *testing.B)       { bench.E16DupRelease(1)(b) }
+func BenchmarkE16_DupRelease_P64(b *testing.B)      { bench.E16DupRelease(64)(b) }
+func BenchmarkE16_CachedRead_Hot_P1(b *testing.B)   { bench.E16CachedRead(1, "hot")(b) }
+func BenchmarkE16_CachedRead_Hot_P8(b *testing.B)   { bench.E16CachedRead(8, "hot")(b) }
+func BenchmarkE16_CachedRead_Hot_P64(b *testing.B)  { bench.E16CachedRead(64, "hot")(b) }
+func BenchmarkE16_CachedRead_Cold_P1(b *testing.B)  { bench.E16CachedRead(1, "cold")(b) }
+func BenchmarkE16_CachedRead_Cold_P8(b *testing.B)  { bench.E16CachedRead(8, "cold")(b) }
+func BenchmarkE16_CachedRead_Cold_P64(b *testing.B) { bench.E16CachedRead(64, "cold")(b) }
+func BenchmarkE16_CachedRead_Inval_P8(b *testing.B) { bench.E16CachedRead(8, "inval")(b) }
+
 // E10 — §6.1/§6.2: compatible-subcontract discovery, cold vs warm.
 func BenchmarkE10_Discovery_Cold(b *testing.B) { bench.E10DiscoveryCold(b) }
 func BenchmarkE10_Discovery_Warm(b *testing.B) { bench.E10DiscoveryWarm(b) }

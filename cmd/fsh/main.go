@@ -38,6 +38,9 @@ var (
 	hbInterval  = flag.Duration("heartbeat", time.Second, "heartbeat interval on idle peer connections")
 	leaseGrace  = flag.Duration("lease-grace", 10*time.Second,
 		"how long a peer may be silent or disconnected before its references are reclaimed")
+
+	cacheBudget = flag.Int64("cache-budget", 0,
+		"per-entry reply-cache byte budget for the cache manager (0 = default, negative = unbounded)")
 )
 
 func usage() {
@@ -75,7 +78,7 @@ func main() {
 		return e
 	}
 	ns := naming.NewServer(newEnv("naming"))
-	mgr := cache.NewManager(newEnv("cachemgr"))
+	mgr := cache.NewManagerWith(newEnv("cachemgr"), cache.Config{ReplyBudget: *cacheBudget})
 	mgrObj, err := mgr.Object().Copy()
 	if err != nil {
 		log.Fatal(err)

@@ -148,6 +148,17 @@ func main() {
 	fmt.Printf("  => pipelining 64 callers over one connection lifts throughput %.1fx over serial calls\n",
 		nsPerOp(seq)/nsPerOp(pipe))
 
+	section("E16 lock-free local door path + scalable cache manager (intra-machine)")
+	run("null local door call, 1 caller", bench.E16NullLocalCall(1))
+	run("null local door call, 64 callers", bench.E16NullLocalCall(64))
+	run("Dup+Release round trip, 1 caller", bench.E16DupRelease(1))
+	run("Dup+Release round trip, 64 callers", bench.E16DupRelease(64))
+	cold := run("cached read, cold keys, 64 callers", bench.E16CachedRead(64, "cold"))
+	hot := run("cached read, hot key, 64 callers", bench.E16CachedRead(64, "hot"))
+	run("cached read, 1/64 invalidating, 8 callers", bench.E16CachedRead(8, "inval"))
+	fmt.Printf("  => serving the hot key from cache is %.1fx cheaper than missing to the server\n",
+		nsPerOp(cold)/nsPerOp(hot))
+
 	if *stats {
 		fmt.Println("\nper-subcontract metrics (scstats)")
 		fmt.Print(scstats.Text())

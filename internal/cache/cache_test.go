@@ -133,10 +133,7 @@ func TestEntriesDedupeBySameDoor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.mu.Lock()
-	entries := len(m.entries)
-	m.mu.Unlock()
-	if entries != 1 {
+	if entries := m.EntryCount(); entries != 1 {
 		t.Fatalf("entries = %d, want 1 (dedupe by door identity)", entries)
 	}
 	_ = d2b

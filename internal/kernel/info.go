@@ -87,9 +87,9 @@ func (d *Domain) CreateDoorInfo(proc ServerProcInfo, unref func()) (Handle, *Doo
 		owner:  d.kernel,
 		target: proc,
 		unref:  unref,
-		refs:   1,
 		id:     d.kernel.nextID.Add(1),
 	}
+	dd.refs.Store(1)
 	d.kernel.liveDoors.Add(1)
 	h := d.install(Ref{d: dd})
 	return h, &Door{d: dd}

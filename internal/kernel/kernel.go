@@ -19,6 +19,13 @@
 // (goroutine), the "thread shuttling" that makes Spring door IPC fast;
 // servers needing their own scheduling hand calls to an executor (see the
 // priority subcontract).
+//
+// The invocation path is lock-free (E16): a door's reference count and
+// revocation flag are atomics, its target and unreferenced callback are
+// immutable after creation, and a domain's handle table is a dense
+// atomically-published slice indexed by handle — so Ref.Dup, Ref.Release
+// and a door call touch no mutex. Handle-table writers (install, delete,
+// move) serialize on the domain mutex, which is off the call path.
 package kernel
 
 import (
@@ -60,15 +67,18 @@ type Handle uint64
 // CreateDoorInfo instead.
 type ServerProc func(req *buffer.Buffer) (*buffer.Buffer, error)
 
-// door is the kernel-side door object.
+// door is the kernel-side door object. target, unref, owner and id are
+// written once at creation, before the first reference is published, and
+// never again — so the call path reads them without synchronization. The
+// reference count and revocation flag are the only mutable fields and are
+// atomics.
 type door struct {
-	mu      sync.Mutex
 	owner   *Kernel
 	target  ServerProcInfo
 	unref   func()
-	refs    int
-	revoked bool
 	id      uint64 // kernel-wide unique, for diagnostics
+	refs    atomic.Int64
+	revoked atomic.Bool
 }
 
 // Ref is a kernel-level door reference: the form a door identifier takes
@@ -86,7 +96,7 @@ func (r Ref) SameDoor(o Ref) bool { return r.d != nil && r.d == o.d }
 
 // DoorID returns a kernel-wide unique identity for the underlying door
 // (0 for an invalid ref). The network door servers key their export tables
-// on it.
+// on it, and the cache manager its entry index.
 func (r Ref) DoorID() uint64 {
 	if r.d == nil {
 		return 0
@@ -94,34 +104,28 @@ func (r Ref) DoorID() uint64 {
 	return r.d.id
 }
 
-// Dup creates an additional reference to the same door.
+// Dup creates an additional reference to the same door. One atomic add;
+// no lock.
 func (r Ref) Dup() Ref {
 	if r.d == nil {
 		return Ref{}
 	}
-	r.d.mu.Lock()
-	r.d.refs++
-	r.d.mu.Unlock()
+	r.d.refs.Add(1)
 	return Ref{d: r.d}
 }
 
 // Release drops the reference. When the last reference to a door is
 // released the kernel delivers the unreferenced notification to the door's
-// target (asynchronously, as the Spring kernel does).
+// target (asynchronously, as the Spring kernel does). Exactly one releaser
+// observes the count reach zero, so the notification fires exactly once;
+// delivery goes through the kernel's single dispatch goroutine, so a mass
+// release does not burst one goroutine per door.
 func (r Ref) Release() {
 	if r.d == nil {
 		return
 	}
-	r.d.mu.Lock()
-	r.d.refs--
-	last := r.d.refs == 0
-	unref := r.d.unref
-	r.d.mu.Unlock()
-	if last {
-		r.d.owner.liveDoors.Add(-1)
-		if unref != nil {
-			go unref()
-		}
+	if r.d.refs.Add(-1) == 0 {
+		r.d.owner.noteUnreferenced(r.d)
 	}
 }
 
@@ -133,22 +137,20 @@ func (r Ref) call(req *buffer.Buffer) (*buffer.Buffer, error) {
 // callInfo invokes the door's target with an invocation context. An
 // already-ended context (expired deadline, closed cancellation channel)
 // fails the call before the target runs, so a dead caller never occupies
-// the server.
+// the server. The path is one atomic flag load plus the context check; no
+// mutex.
 func (r Ref) callInfo(req *buffer.Buffer, info *Info) (*buffer.Buffer, error) {
-	if r.d == nil {
+	d := r.d
+	if d == nil {
 		return nil, ErrBadHandle
 	}
-	r.d.mu.Lock()
-	revoked := r.d.revoked
-	target := r.d.target
-	r.d.mu.Unlock()
-	if revoked {
+	if d.revoked.Load() {
 		return nil, ErrRevoked
 	}
 	if err := info.Err(); err != nil {
 		return nil, err
 	}
-	return target(req, info)
+	return d.target(req, info)
 }
 
 // Kernel is one machine's door kernel. Distinct Kernel values model
@@ -160,6 +162,15 @@ type Kernel struct {
 	liveDoors atomic.Int64
 	mu        sync.Mutex
 	domains   []*Domain
+
+	// Unreferenced-notification dispatch: last releases enqueue the door's
+	// callback here and a single kernel-owned goroutine drains the queue in
+	// FIFO order, starting on demand and exiting when idle. This bounds a
+	// mass release (a lease reclaim dropping thousands of references) to
+	// one goroutine instead of one per door.
+	unrefMu      sync.Mutex
+	unrefQueue   []func()
+	unrefRunning bool
 }
 
 // LiveDoors reports the number of door objects currently alive on this
@@ -175,14 +186,48 @@ func New(name string) *Kernel {
 // Name returns the machine name given at creation.
 func (k *Kernel) Name() string { return k.name }
 
+// noteUnreferenced accounts a door's death and schedules its unreferenced
+// notification on the kernel's dispatch goroutine.
+func (k *Kernel) noteUnreferenced(d *door) {
+	k.liveDoors.Add(-1)
+	if d.unref == nil {
+		return
+	}
+	k.unrefMu.Lock()
+	k.unrefQueue = append(k.unrefQueue, d.unref)
+	if !k.unrefRunning {
+		k.unrefRunning = true
+		go k.drainUnrefs()
+	}
+	k.unrefMu.Unlock()
+}
+
+// drainUnrefs runs queued unreferenced notifications in FIFO order until
+// the queue empties, then exits. At most one instance runs per kernel.
+func (k *Kernel) drainUnrefs() {
+	for {
+		k.unrefMu.Lock()
+		if len(k.unrefQueue) == 0 {
+			k.unrefRunning = false
+			k.unrefMu.Unlock()
+			return
+		}
+		batch := k.unrefQueue
+		k.unrefQueue = nil
+		k.unrefMu.Unlock()
+		for _, fn := range batch {
+			fn()
+		}
+	}
+}
+
 // NewDomain creates a domain (address space) on this kernel.
 func (k *Kernel) NewDomain(name string) *Domain {
 	d := &Domain{
-		kernel:  k,
-		name:    name,
-		handles: make(map[Handle]Ref),
-		next:    1,
+		kernel: k,
+		name:   name,
 	}
+	d.table.Store(&[]atomic.Pointer[door]{})
 	k.mu.Lock()
 	k.domains = append(k.domains, d)
 	k.mu.Unlock()
@@ -192,13 +237,22 @@ func (k *Kernel) NewDomain(name string) *Domain {
 // Domain is an address space plus a collection of threads. Each domain has
 // a private door-identifier table; handles are meaningless outside their
 // domain.
+//
+// The handle table is a dense slice indexed by handle (handles are
+// allocated sequentially from 1 and never reused), published through an
+// atomic pointer. Lookups — the door-call hot path — are two atomic loads
+// and a bounds check; installs, deletes and growth serialize on mu. A
+// reader that raced a concurrent delete may briefly see the old slice, in
+// which case its call linearizes just before the delete, exactly as a call
+// that won a lock race would have.
 type Domain struct {
 	kernel *Kernel
 	name   string
 
-	mu      sync.Mutex
-	handles map[Handle]Ref
-	next    Handle
+	mu    sync.Mutex // serializes handle-table writers
+	table atomic.Pointer[[]atomic.Pointer[door]]
+	next  atomic.Uint64 // last allocated handle
+	live  atomic.Int64  // live identifiers, for HandleCount
 }
 
 // Name returns the domain name.
@@ -217,31 +271,26 @@ type Door struct {
 // with ErrRevoked. Revocation is how a server discards state without
 // waiting for all clients to consent.
 func (dr *Door) Revoke() {
-	dr.d.mu.Lock()
-	dr.d.revoked = true
-	dr.d.mu.Unlock()
+	dr.d.revoked.Store(true)
 }
 
 // Revoked reports whether the door has been revoked.
 func (dr *Door) Revoked() bool {
-	dr.d.mu.Lock()
-	defer dr.d.mu.Unlock()
-	return dr.d.revoked
+	return dr.d.revoked.Load()
 }
 
 // Refs reports the current number of outstanding identifiers (handles plus
 // in-flight buffer references) for the door.
 func (dr *Door) Refs() int {
-	dr.d.mu.Lock()
-	defer dr.d.mu.Unlock()
-	return dr.d.refs
+	return int(dr.d.refs.Load())
 }
 
 // CreateDoor creates a door targeted at proc and installs one identifier
-// for it in d's handle table. unref, if non-nil, is called (in its own
-// goroutine) when the last identifier for the door is deleted. The target
-// does not see the invocation context; use CreateDoorInfo for targets
-// that propagate deadlines and traces onward.
+// for it in d's handle table. unref, if non-nil, is called (on the
+// kernel's notification dispatch goroutine) when the last identifier for
+// the door is deleted. The target does not see the invocation context;
+// use CreateDoorInfo for targets that propagate deadlines and traces
+// onward.
 func (d *Domain) CreateDoor(proc ServerProc, unref func()) (Handle, *Door) {
 	return d.CreateDoorInfo(func(req *buffer.Buffer, _ *Info) (*buffer.Buffer, error) {
 		return proc(req)
@@ -252,22 +301,54 @@ func (d *Domain) CreateDoor(proc ServerProc, unref func()) (Handle, *Door) {
 // accounted for by the caller.
 func (d *Domain) install(r Ref) Handle {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	h := d.next
-	d.next++
-	d.handles[h] = r
+	h := Handle(d.next.Add(1))
+	t := *d.table.Load()
+	if int(h) > len(t) {
+		grown := make([]atomic.Pointer[door], max(len(t)*2, 16))
+		for i := range t {
+			grown[i].Store(t[i].Load())
+		}
+		d.table.Store(&grown)
+		t = grown
+	}
+	t[h-1].Store(r.d)
+	d.live.Add(1)
+	d.mu.Unlock()
 	return h
 }
 
-// lookup returns the ref for h without transferring it.
+// lookup returns the ref for h without transferring it. Lock-free: this
+// is the first half of every door call.
 func (d *Domain) lookup(h Handle) (Ref, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	r, ok := d.handles[h]
-	if !ok {
+	t := *d.table.Load()
+	if h == 0 || int(h) > len(t) {
 		return Ref{}, fmt.Errorf("%w: %s handle %d", ErrBadHandle, d.name, h)
 	}
-	return r, nil
+	dd := t[h-1].Load()
+	if dd == nil {
+		return Ref{}, fmt.Errorf("%w: %s handle %d", ErrBadHandle, d.name, h)
+	}
+	return Ref{d: dd}, nil
+}
+
+// remove deletes h from the table, returning the ref it held. The caller
+// inherits the ref's reference count.
+func (d *Domain) remove(h Handle) (Ref, bool) {
+	d.mu.Lock()
+	t := *d.table.Load()
+	if h == 0 || int(h) > len(t) {
+		d.mu.Unlock()
+		return Ref{}, false
+	}
+	dd := t[h-1].Load()
+	if dd == nil {
+		d.mu.Unlock()
+		return Ref{}, false
+	}
+	t[h-1].Store(nil)
+	d.live.Add(-1)
+	d.mu.Unlock()
+	return Ref{d: dd}, true
 }
 
 // Call issues a door call on identifier h, transferring req to the door's
@@ -296,12 +377,7 @@ func (d *Domain) CopyDoor(h Handle) (Handle, error) {
 // DeleteDoor deletes identifier h, releasing its reference. When the last
 // identifier for a door is deleted the kernel notifies the door's target.
 func (d *Domain) DeleteDoor(h Handle) error {
-	d.mu.Lock()
-	r, ok := d.handles[h]
-	if ok {
-		delete(d.handles, h)
-	}
-	d.mu.Unlock()
+	r, ok := d.remove(h)
 	if !ok {
 		return fmt.Errorf("%w: %s handle %d", ErrBadHandle, d.name, h)
 	}
@@ -317,9 +393,7 @@ func (d *Domain) RevokeHandle(h Handle) error {
 	if err != nil {
 		return err
 	}
-	r.d.mu.Lock()
-	r.d.revoked = true
-	r.d.mu.Unlock()
+	r.d.revoked.Store(true)
 	return nil
 }
 
@@ -327,12 +401,7 @@ func (d *Domain) RevokeHandle(h Handle) error {
 // (move semantics: the sending domain ceases to have the identifier, as
 // marshal requires).
 func (d *Domain) MoveToBuffer(h Handle, buf *buffer.Buffer) error {
-	d.mu.Lock()
-	r, ok := d.handles[h]
-	if ok {
-		delete(d.handles, h)
-	}
-	d.mu.Unlock()
+	r, ok := d.remove(h)
 	if !ok {
 		return fmt.Errorf("%w: %s handle %d", ErrBadHandle, d.name, h)
 	}
@@ -383,9 +452,7 @@ func (d *Domain) RefOf(h Handle) (Ref, error) {
 // HandleCount reports the number of identifiers in the domain's table
 // (resource accounting for the cluster-vs-simplex experiment).
 func (d *Domain) HandleCount() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.handles)
+	return int(d.live.Load())
 }
 
 // SameDoor reports whether two identifiers designate the same door.

@@ -1,0 +1,236 @@
+package kernel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/buffer"
+)
+
+// TestConcurrentDupReleaseRevokeCall hammers one door from many
+// goroutines mixing Dup/Release churn, calls, and one mid-run revocation
+// (the E16 lock-free path under -race). The last release must deliver the
+// unreferenced notification exactly once.
+func TestConcurrentDupReleaseRevokeCall(t *testing.T) {
+	k := New("m1")
+	srv := k.NewDomain("server")
+	cli := k.NewDomain("client")
+
+	var unrefs atomic.Int32
+	fired := make(chan struct{}, 8)
+	h, door := srv.CreateDoor(func(req *buffer.Buffer) (*buffer.Buffer, error) {
+		return nil, nil
+	}, func() {
+		unrefs.Add(1)
+		fired <- struct{}{}
+	})
+	b := buffer.New(8)
+	if err := srv.MoveToBuffer(h, b); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := cli.AdoptFromBuffer(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := cli.RefOf(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 16
+	const iters = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			req := buffer.New(0)
+			for i := 0; i < iters; i++ {
+				switch i % 3 {
+				case 0:
+					base.Dup().Release()
+				case 1:
+					r := base.Dup()
+					r2 := r.Dup()
+					r.Release()
+					r2.Release()
+				default:
+					_, _ = cli.Call(ch, req) // may fail after revoke; both fine
+				}
+				if g == 0 && i == iters/2 {
+					door.Revoke()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if _, err := cli.Call(ch, buffer.New(0)); err != ErrRevoked {
+		t.Fatalf("call after revoke = %v, want ErrRevoked", err)
+	}
+	if n := unrefs.Load(); n != 0 {
+		t.Fatalf("unreferenced fired %d times with identifiers outstanding", n)
+	}
+
+	// Drop the remaining references: the notification must fire exactly
+	// once, regardless of which release is last.
+	base.Release()
+	if err := cli.DeleteDoor(ch); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("unreferenced notification never delivered")
+	}
+	time.Sleep(10 * time.Millisecond) // allow an erroneous second delivery to land
+	if n := unrefs.Load(); n != 1 {
+		t.Fatalf("unreferenced fired %d times, want exactly 1", n)
+	}
+	if live := k.LiveDoors(); live != 0 {
+		t.Fatalf("live doors after churn = %d, want 0", live)
+	}
+}
+
+// TestUnrefDispatchSerialized mass-releases many doors at once and
+// checks that their unreferenced notifications run one at a time, in
+// FIFO order, on the kernel's dispatch goroutine — not as a burst of
+// per-door goroutines.
+func TestUnrefDispatchSerialized(t *testing.T) {
+	k := New("m1")
+	d := k.NewDomain("d")
+
+	const doors = 500
+	var running, maxRunning, fires atomic.Int32
+	var orderMu sync.Mutex
+	var order []int
+	done := make(chan struct{})
+	handles := make([]Handle, doors)
+	for i := 0; i < doors; i++ {
+		i := i
+		handles[i], _ = d.CreateDoor(func(req *buffer.Buffer) (*buffer.Buffer, error) {
+			return nil, nil
+		}, func() {
+			n := running.Add(1)
+			for {
+				m := maxRunning.Load()
+				if n <= m || maxRunning.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			orderMu.Lock()
+			order = append(order, i)
+			orderMu.Unlock()
+			running.Add(-1)
+			if fires.Add(1) == doors {
+				close(done)
+			}
+		})
+	}
+	// A mass release, as a lease reclaim would perform.
+	for _, h := range handles {
+		if err := d.DeleteDoor(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("only %d/%d notifications delivered", fires.Load(), doors)
+	}
+	if m := maxRunning.Load(); m != 1 {
+		t.Fatalf("notification concurrency = %d, want 1 (single dispatch goroutine)", m)
+	}
+	orderMu.Lock()
+	defer orderMu.Unlock()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("notification order[%d] = %d, want FIFO", i, v)
+		}
+	}
+}
+
+// TestAllocsDupRelease guards the lock-free refcount round trip: a Dup
+// followed by a (non-final) Release must not allocate.
+func TestAllocsDupRelease(t *testing.T) {
+	k := New("m1")
+	d := k.NewDomain("d")
+	h, _ := d.CreateDoor(func(req *buffer.Buffer) (*buffer.Buffer, error) {
+		return nil, nil
+	}, nil)
+	ref, err := d.RefOf(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Release()
+	if n := testing.AllocsPerRun(1000, func() {
+		ref.Dup().Release()
+	}); n != 0 {
+		t.Fatalf("Dup+Release allocates %.1f objects/op, want 0", n)
+	}
+}
+
+// TestAllocsNullCall guards the lock-free call path: a null local door
+// call with a reused request buffer must not allocate.
+func TestAllocsNullCall(t *testing.T) {
+	k := New("m1")
+	d := k.NewDomain("d")
+	h, _ := d.CreateDoor(func(req *buffer.Buffer) (*buffer.Buffer, error) {
+		return nil, nil
+	}, nil)
+	req := buffer.New(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, err := d.Call(h, req); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("null door call allocates %.1f objects/op, want 0", n)
+	}
+}
+
+// TestHandleTableGrowthUnderReaders grows the handle table while
+// concurrent readers call through existing handles, exercising the
+// atomically-published table against installs, deletes and growth.
+func TestHandleTableGrowthUnderReaders(t *testing.T) {
+	k := New("m1")
+	d := k.NewDomain("d")
+	h, _ := d.CreateDoor(func(req *buffer.Buffer) (*buffer.Buffer, error) {
+		return nil, nil
+	}, nil)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := buffer.New(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := d.Call(h, req); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		h2, err := d.CopyDoor(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if err := d.DeleteDoor(h2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

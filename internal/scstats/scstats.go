@@ -68,9 +68,13 @@ type Stats struct {
 	Reconnects atomic.Uint64
 
 	// Hits and Misses are for caching subcontracts: calls satisfied
-	// locally vs. forwarded to the backing object.
-	Hits   atomic.Uint64
-	Misses atomic.Uint64
+	// locally vs. forwarded to the backing object. Coalesced counts
+	// misses that piggybacked on another caller's in-flight miss for the
+	// same key instead of reaching the backing object themselves (the
+	// cache manager's singleflight).
+	Hits      atomic.Uint64
+	Misses    atomic.Uint64
+	Coalesced atomic.Uint64
 
 	// Latency histogram over sampled calls: samples[i] counts sampled
 	// calls whose wall time fell in bucket i, latencySum/latencyCount the
@@ -181,6 +185,7 @@ type Snapshot struct {
 	Reconnects       uint64
 	Hits             uint64
 	Misses           uint64
+	Coalesced        uint64
 
 	LatencySamples uint64
 	LatencyMean    time.Duration
@@ -200,6 +205,7 @@ func (s *Stats) snapshot() Snapshot {
 		Reconnects:       s.Reconnects.Load(),
 		Hits:             s.Hits.Load(),
 		Misses:           s.Misses.Load(),
+		Coalesced:        s.Coalesced.Load(),
 		LatencySamples:   s.latencyCount.Load(),
 	}
 	if sn.LatencySamples > 0 {
@@ -336,6 +342,7 @@ func Reset() {
 		s.Reconnects.Store(0)
 		s.Hits.Store(0)
 		s.Misses.Store(0)
+		s.Coalesced.Store(0)
 		for i := range s.samples {
 			s.samples[i].Store(0)
 		}
@@ -361,9 +368,9 @@ func WriteText(w io.Writer) error {
 	}
 	for _, sn := range sns {
 		if _, err := fmt.Fprintf(w,
-			"%-14s calls=%d errors=%d deadline=%d cancelled=%d retries=%d failovers=%d reconnects=%d hits=%d misses=%d\n",
+			"%-14s calls=%d errors=%d deadline=%d cancelled=%d retries=%d failovers=%d reconnects=%d hits=%d misses=%d coalesced=%d\n",
 			sn.Name, sn.Calls, sn.Errors, sn.DeadlineExceeded, sn.Cancelled,
-			sn.Retries, sn.Failovers, sn.Reconnects, sn.Hits, sn.Misses); err != nil {
+			sn.Retries, sn.Failovers, sn.Reconnects, sn.Hits, sn.Misses, sn.Coalesced); err != nil {
 			return err
 		}
 		if sn.LatencySamples == 0 {

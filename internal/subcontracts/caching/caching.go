@@ -12,7 +12,11 @@
 // manager on the local machine.
 //
 // This is the subcontract the paper calls out as deliberately profligate
-// at unmarshal time to win at invoke time (§9.3).
+// at unmarshal time to win at invoke time (§9.3). The invoke-time win is
+// only as good as the cache manager behind D2: internal/cache serves hits
+// lock-free of any manager-wide state, bounds each entry's reply cache
+// with an LRU byte budget, and coalesces concurrent misses for one key
+// into a single server call (the E16 experiment measures this path).
 package caching
 
 import (
