@@ -4,7 +4,7 @@
 # suite — the liveness/partition tests under deterministic fault
 # injection (internal/faultnet) — and a smoke pass over the E15/E16
 # benchmark suites so they cannot silently rot.
-.PHONY: all tier1 tier2 faults bench bench-quick bench-all gen
+.PHONY: all tier1 tier2 faults bench bench-quick bench-all gen obs
 
 all: tier1 tier2
 
@@ -12,7 +12,7 @@ tier1:
 	go build ./...
 	go test ./...
 
-tier2: faults bench-quick
+tier2: faults bench-quick obs
 	go vet ./...
 	go test -race ./...
 
@@ -33,13 +33,31 @@ bench:
 	go test -run NONE -bench 'E16' -benchmem . | tee /tmp/bench_e16.out
 	go run ./cmd/benchjson -experiment 'E16 lock-free local door path + scalable cache manager (intra-machine)' \
 		-o BENCH_cache.json < /tmp/bench_e16.out
+	go test -run NONE -bench 'E17' -benchmem . | tee /tmp/bench_e17.out
+	go run ./cmd/benchjson -experiment 'E17 distributed-tracing overhead (off / unsampled / sampled on the minimal call)' \
+		-o BENCH_trace.json < /tmp/bench_e17.out
 
 # One-iteration smoke: the benchmarks still compile and run.
 bench-quick:
-	go test -run NONE -bench 'E15|E16' -benchtime 1x .
+	go test -run NONE -bench 'E15|E16|E17' -benchtime 1x .
 
 bench-all:
 	go test -bench=. -benchmem
 
 gen:
 	go run ./cmd/idlgen -package filesys -o internal/filesys/gen.go internal/filesys/filesys.idl
+
+# Observability smoke: boot springfsd with the telemetry plane, scrape
+# /metrics and /healthz, and check the gauges and health keys are there.
+obs:
+	go build -o /tmp/springfsd_obs ./cmd/springfsd
+	/tmp/springfsd_obs -addr 127.0.0.1:17040 -telemetry 127.0.0.1:16060 & \
+	pid=$$!; \
+	sleep 1; \
+	ok=0; \
+	curl -sf http://127.0.0.1:16060/metrics | grep -q '^netd_conns_live' && \
+	curl -sf http://127.0.0.1:16060/metrics | grep -q '^subcontract_calls_total' && \
+	curl -sf http://127.0.0.1:16060/healthz | grep -q '"status"' || ok=1; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	rm -f /tmp/springfsd_obs; \
+	test $$ok -eq 0 && echo "obs smoke: ok"

@@ -109,6 +109,17 @@ func BenchmarkE16_CachedRead_Cold_P8(b *testing.B)  { bench.E16CachedRead(8, "co
 func BenchmarkE16_CachedRead_Cold_P64(b *testing.B) { bench.E16CachedRead(64, "cold")(b) }
 func BenchmarkE16_CachedRead_Inval_P8(b *testing.B) { bench.E16CachedRead(8, "inval")(b) }
 
+// E17 — distributed-tracing overhead on the E14 minimal call: sampling
+// off / enabled-but-unsampled / every-call-sampled, at parallelism 1 and
+// 64. `make bench` records this sweep in BENCH_trace.json; the alloc and
+// latency acceptance guards live in internal/bench/bench6_test.go.
+func BenchmarkE17_Traced_Off_P1(b *testing.B)        { bench.E17TracedCall("off", 1)(b) }
+func BenchmarkE17_Traced_Off_P64(b *testing.B)       { bench.E17TracedCall("off", 64)(b) }
+func BenchmarkE17_Traced_Unsampled_P1(b *testing.B)  { bench.E17TracedCall("unsampled", 1)(b) }
+func BenchmarkE17_Traced_Unsampled_P64(b *testing.B) { bench.E17TracedCall("unsampled", 64)(b) }
+func BenchmarkE17_Traced_Sampled_P1(b *testing.B)    { bench.E17TracedCall("sampled", 1)(b) }
+func BenchmarkE17_Traced_Sampled_P64(b *testing.B)   { bench.E17TracedCall("sampled", 64)(b) }
+
 // E10 — §6.1/§6.2: compatible-subcontract discovery, cold vs warm.
 func BenchmarkE10_Discovery_Cold(b *testing.B) { bench.E10DiscoveryCold(b) }
 func BenchmarkE10_Discovery_Warm(b *testing.B) { bench.E10DiscoveryWarm(b) }

@@ -27,6 +27,8 @@ import (
 	"repro/internal/naming"
 	"repro/internal/netd"
 	"repro/internal/subcontracts/caching"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 var (
@@ -41,6 +43,11 @@ var (
 
 	cacheBudget = flag.Int64("cache-budget", 0,
 		"per-entry reply-cache byte budget for the cache manager (0 = default, negative = unbounded)")
+
+	telemetryAddr = flag.String("telemetry", "",
+		"serve /metrics, /traces, /healthz and pprof on this address (e.g. :6061; empty = off)")
+	traceSample = flag.Int("trace-sample", 0,
+		"record a trace for 1 in N calls that arrive untraced (0 = only explicitly traced calls)")
 )
 
 func usage() {
@@ -55,6 +62,15 @@ func main() {
 	if len(args) == 0 {
 		usage()
 		return
+	}
+
+	trace.SetSampling(*traceSample)
+	if *telemetryAddr != "" {
+		tp, err := telemetry.Start(*telemetryAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tp.Close()
 	}
 
 	// Local machine setup: kernel, network door server, naming, cache.

@@ -19,11 +19,18 @@ import (
 	"repro/internal/bench"
 	"repro/internal/scstats"
 	"repro/internal/subcontracts/shm"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 var (
 	quick = flag.Bool("quick", false, "run shorter benchmarks")
 	stats = flag.Bool("scstats", false, "dump per-subcontract metrics after the run")
+
+	telemetryAddr = flag.String("telemetry", "",
+		"serve /metrics, /traces, /healthz and pprof on this address while the suite runs (empty = off)")
+	traceSample = flag.Int("trace-sample", 0,
+		"record a trace for 1 in N calls that arrive untraced (0 = only explicitly traced calls)")
 )
 
 // run executes one experiment body under the testing benchmark driver.
@@ -47,6 +54,16 @@ func main() {
 	// through -test.benchtime.
 	testing.Init()
 	flag.Parse()
+	trace.SetSampling(*traceSample)
+	if *telemetryAddr != "" {
+		tp, err := telemetry.Start(*telemetryAddr)
+		if err != nil {
+			fmt.Println("note:", err)
+		} else {
+			defer tp.Close()
+			fmt.Printf("telemetry on http://%s\n", tp.Addr())
+		}
+	}
 	if *quick {
 		if err := flag.Set("test.benchtime", "100x"); err != nil {
 			fmt.Println("note:", err)
@@ -158,6 +175,14 @@ func main() {
 	run("cached read, 1/64 invalidating, 8 callers", bench.E16CachedRead(8, "inval"))
 	fmt.Printf("  => serving the hot key from cache is %.1fx cheaper than missing to the server\n",
 		nsPerOp(cold)/nsPerOp(hot))
+
+	section("E17 distributed-tracing overhead (minimal call)")
+	off := run("tracing hooks, sampling off, 1 caller", bench.E17TracedCall("off", 1))
+	unsampled := run("sampling on, call not picked, 1 caller", bench.E17TracedCall("unsampled", 1))
+	sampled := run("every call sampled, 1 caller", bench.E17TracedCall("sampled", 1))
+	run("every call sampled, 64 callers", bench.E17TracedCall("sampled", 64))
+	fmt.Printf("  => head sampling adds %.0f ns to an untraced call; recording a full span set adds %.0f ns\n",
+		nsPerOp(unsampled)-nsPerOp(off), nsPerOp(sampled)-nsPerOp(off))
 
 	if *stats {
 		fmt.Println("\nper-subcontract metrics (scstats)")

@@ -1,0 +1,168 @@
+// sctop is "top" for subcontracts: it polls a daemon's telemetry plane
+// (/metrics, see internal/telemetry) and renders a live per-subcontract
+// table of call rates, error rates, retries, cache hit ratio, and mean
+// latency, computed from deltas between consecutive scrapes.
+//
+//	sctop -url http://localhost:6060/metrics
+//	sctop -url http://localhost:6060/metrics -interval 1s
+//	sctop -once          # single scrape, absolute totals, no screen clear
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:6060/metrics", "telemetry /metrics URL to poll")
+	interval := flag.Duration("interval", 2*time.Second, "poll interval")
+	once := flag.Bool("once", false, "scrape once, print absolute totals, exit")
+	flag.Parse()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	if *once {
+		cur, err := fetch(client, *url)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		render(os.Stdout, cur, nil, 0, false)
+		return
+	}
+
+	var prev *scrape
+	var prevAt time.Time
+	for {
+		cur, err := fetch(client, *url)
+		now := time.Now()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sctop: %v (retrying in %v)\n", err, *interval)
+		} else {
+			clearScreen()
+			fmt.Printf("sctop  %s  %s  interval=%v\n\n", *url, now.Format("15:04:05"), *interval)
+			render(os.Stdout, cur, prev, now.Sub(prevAt), true)
+			prev, prevAt = cur, now
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func fetch(client *http.Client, url string) (*scrape, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("sctop: GET %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("sctop: GET %s: status %s", url, resp.Status)
+	}
+	return parseMetrics(resp.Body)
+}
+
+func clearScreen() { fmt.Print("\x1b[2J\x1b[H") }
+
+// row is one rendered table line.
+type row struct {
+	name                 string
+	calls, errs, retries float64
+	hits, misses         float64
+	latSum, latCount     float64
+}
+
+// rowsFrom computes per-subcontract values. With a previous scrape the
+// values are deltas (rates over the elapsed window); without one they are
+// absolute totals.
+func rowsFrom(cur, prev *scrape) []row {
+	var rows []row
+	for name, c := range cur.counters {
+		r := row{
+			name:     name,
+			calls:    c["subcontract_calls_total"],
+			errs:     c["subcontract_errors_total"],
+			retries:  c["subcontract_retries_total"] + c["subcontract_failovers_total"] + c["subcontract_reconnects_total"],
+			hits:     c["subcontract_cache_hits_total"],
+			misses:   c["subcontract_cache_misses_total"],
+			latSum:   cur.latencySum[name],
+			latCount: cur.latencyCount[name],
+		}
+		if prev != nil {
+			if p, ok := prev.counters[name]; ok {
+				r.calls -= p["subcontract_calls_total"]
+				r.errs -= p["subcontract_errors_total"]
+				r.retries -= p["subcontract_retries_total"] + p["subcontract_failovers_total"] + p["subcontract_reconnects_total"]
+				r.hits -= p["subcontract_cache_hits_total"]
+				r.misses -= p["subcontract_cache_misses_total"]
+				r.latSum -= prev.latencySum[name]
+				r.latCount -= prev.latencyCount[name]
+			}
+		}
+		rows = append(rows, r)
+	}
+	// Busiest first, then by name for a stable layout.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].calls != rows[j].calls {
+			return rows[i].calls > rows[j].calls
+		}
+		return rows[i].name < rows[j].name
+	})
+	return rows
+}
+
+// render writes the table. asRates scales counter deltas by the elapsed
+// window into per-second figures; otherwise raw totals are printed.
+func render(w *os.File, cur, prev *scrape, elapsed time.Duration, asRates bool) {
+	rows := rowsFrom(cur, prev)
+	secs := elapsed.Seconds()
+	rates := asRates && prev != nil && secs > 0
+
+	unit := ""
+	if rates {
+		unit = "/s"
+	}
+	fmt.Fprintf(w, "%-24s %12s %10s %10s %8s %8s %10s\n",
+		"SUBCONTRACT", "CALLS"+unit, "ERRS"+unit, "RETRY"+unit, "ERR%", "HIT%", "MEAN LAT")
+	for _, r := range rows {
+		calls, errs, retries := r.calls, r.errs, r.retries
+		if rates {
+			calls /= secs
+			errs /= secs
+			retries /= secs
+		}
+		errPct := "-"
+		if r.calls > 0 {
+			errPct = fmt.Sprintf("%.1f", 100*r.errs/r.calls)
+		}
+		hitPct := "-"
+		if lookups := r.hits + r.misses; lookups > 0 {
+			hitPct = fmt.Sprintf("%.1f", 100*r.hits/lookups)
+		}
+		meanLat := "-"
+		if r.latCount > 0 {
+			meanLat = time.Duration(r.latSum / r.latCount * float64(time.Second)).Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(w, "%-24s %12.1f %10.1f %10.1f %8s %8s %10s\n",
+			r.name, calls, errs, retries, errPct, hitPct, meanLat)
+	}
+
+	// A footer of the liveness gauges, when present in the scrape.
+	if len(cur.gauges) > 0 {
+		fmt.Fprintln(w)
+		names := make([]string, 0, len(cur.gauges))
+		for n := range cur.gauges {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for i, n := range names {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%s=%g", n, cur.gauges[n])
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// sample is one parsed exposition line: a metric name, its label set (we
+// only care about the subcontract label), and the value.
+type sample struct {
+	name        string
+	subcontract string
+	le          string
+	value       float64
+}
+
+// scrape is one parsed /metrics payload.
+type scrape struct {
+	// counters[subcontract][family] for the subcontract_* families.
+	counters map[string]map[string]float64
+	// latencySum/latencyCount per subcontract (seconds / samples).
+	latencySum   map[string]float64
+	latencyCount map[string]float64
+	// gauges by (sanitized) metric name.
+	gauges map[string]float64
+}
+
+// parseMetrics reads Prometheus text exposition. It understands the
+// subset the telemetry plane emits: plain `name value` lines, labelled
+// `name{a="b",...} value` lines, and # comments.
+func parseMetrics(r io.Reader) (*scrape, error) {
+	sc := &scrape{
+		counters:     make(map[string]map[string]float64),
+		latencySum:   make(map[string]float64),
+		latencyCount: make(map[string]float64),
+		gauges:       make(map[string]float64),
+	}
+	br := bufio.NewScanner(r)
+	br.Buffer(make([]byte, 1<<20), 1<<20)
+	for br.Scan() {
+		line := strings.TrimSpace(br.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case s.name == "subcontract_latency_seconds_sum":
+			sc.latencySum[s.subcontract] = s.value
+		case s.name == "subcontract_latency_seconds_count":
+			sc.latencyCount[s.subcontract] = s.value
+		case s.name == "subcontract_latency_seconds_bucket":
+			// buckets are not used by the table; skip
+		case strings.HasPrefix(s.name, "subcontract_"):
+			m := sc.counters[s.subcontract]
+			if m == nil {
+				m = make(map[string]float64)
+				sc.counters[s.subcontract] = m
+			}
+			m[s.name] = s.value
+		default:
+			sc.gauges[s.name] = s.value
+		}
+	}
+	return sc, br.Err()
+}
+
+// parseLine splits one sample line.
+func parseLine(line string) (sample, error) {
+	var s sample
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd < 0 {
+		return s, fmt.Errorf("sctop: malformed line %q", line)
+	}
+	s.name = line[:nameEnd]
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		close := strings.Index(rest, "}")
+		if close < 0 {
+			return s, fmt.Errorf("sctop: unterminated labels in %q", line)
+		}
+		labels := rest[1:close]
+		rest = rest[close+1:]
+		for _, kv := range splitLabels(labels) {
+			eq := strings.Index(kv, "=")
+			if eq < 0 {
+				continue
+			}
+			key := kv[:eq]
+			val, err := strconv.Unquote(kv[eq+1:])
+			if err != nil {
+				return s, fmt.Errorf("sctop: bad label value in %q: %v", line, err)
+			}
+			switch key {
+			case "subcontract":
+				s.subcontract = val
+			case "le":
+				s.le = val
+			}
+		}
+	}
+	valStr := strings.TrimSpace(rest)
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return s, fmt.Errorf("sctop: bad value in %q: %v", line, err)
+	}
+	s.value = v
+	return s, nil
+}
+
+// splitLabels splits `a="x",b="y"` on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const exampleExposition = `# HELP subcontract_calls_total Invocations started through the subcontract.
+# TYPE subcontract_calls_total counter
+subcontract_calls_total{subcontract="netd"} 120
+subcontract_calls_total{subcontract="singleton"} 40
+# TYPE subcontract_errors_total counter
+subcontract_errors_total{subcontract="netd"} 6
+subcontract_errors_total{subcontract="singleton"} 0
+# TYPE subcontract_cache_hits_total counter
+subcontract_cache_hits_total{subcontract="caching"} 30
+subcontract_cache_misses_total{subcontract="caching"} 10
+# TYPE subcontract_latency_seconds histogram
+subcontract_latency_seconds_bucket{subcontract="netd",le="1.024e-06"} 3
+subcontract_latency_seconds_bucket{subcontract="netd",le="+Inf"} 15
+subcontract_latency_seconds_sum{subcontract="netd"} 0.0045
+subcontract_latency_seconds_count{subcontract="netd"} 15
+# TYPE netd_conns_live gauge
+netd_conns_live 2
+# TYPE netd_breaker_opened gauge
+netd_breaker_opened 0
+`
+
+func TestParseMetrics(t *testing.T) {
+	sc, err := parseMetrics(strings.NewReader(exampleExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.counters["netd"]["subcontract_calls_total"]; got != 120 {
+		t.Errorf("netd calls = %v, want 120", got)
+	}
+	if got := sc.counters["singleton"]["subcontract_errors_total"]; got != 0 {
+		t.Errorf("singleton errors = %v, want 0", got)
+	}
+	if got := sc.counters["caching"]["subcontract_cache_hits_total"]; got != 30 {
+		t.Errorf("caching hits = %v, want 30", got)
+	}
+	if got := sc.latencySum["netd"]; got != 0.0045 {
+		t.Errorf("netd latency sum = %v, want 0.0045", got)
+	}
+	if got := sc.latencyCount["netd"]; got != 15 {
+		t.Errorf("netd latency count = %v, want 15", got)
+	}
+	if got := sc.gauges["netd_conns_live"]; got != 2 {
+		t.Errorf("conns_live gauge = %v, want 2", got)
+	}
+	if _, tracked := sc.counters["netd"]["subcontract_latency_seconds_bucket"]; tracked {
+		t.Error("histogram buckets leaked into the counter map")
+	}
+}
+
+func TestParseLineEscapedLabel(t *testing.T) {
+	s, err := parseLine(`subcontract_calls_total{subcontract="netd(serve)"} 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.subcontract != "netd(serve)" || s.value != 7 {
+		t.Errorf("got %+v", s)
+	}
+	s, err = parseLine(`m{a="x,y",subcontract="q\"z"} 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.subcontract != `q"z` {
+		t.Errorf("escaped label = %q, want q\"z", s.subcontract)
+	}
+}
+
+func TestRowsFromDeltas(t *testing.T) {
+	prev, err := parseMetrics(strings.NewReader(exampleExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	curText := strings.NewReplacer(
+		`subcontract_calls_total{subcontract="netd"} 120`, `subcontract_calls_total{subcontract="netd"} 170`,
+		`subcontract_errors_total{subcontract="netd"} 6`, `subcontract_errors_total{subcontract="netd"} 8`,
+	).Replace(exampleExposition)
+	cur, err := parseMetrics(strings.NewReader(curText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rowsFrom(cur, prev)
+	var netd *row
+	for i := range rows {
+		if rows[i].name == "netd" {
+			netd = &rows[i]
+		}
+	}
+	if netd == nil {
+		t.Fatal("no netd row")
+	}
+	if netd.calls != 50 || netd.errs != 2 {
+		t.Errorf("netd deltas = calls %v errs %v, want 50/2", netd.calls, netd.errs)
+	}
+	// Busiest-first ordering: netd (50) before singleton (0).
+	if rows[0].name != "netd" {
+		t.Errorf("rows[0] = %s, want netd", rows[0].name)
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	if _, err := parseMetrics(strings.NewReader("subcontract_calls_total{oops 1\n")); err == nil {
+		t.Error("unterminated labels accepted")
+	}
+	if _, err := parseMetrics(strings.NewReader("name notanumber\n")); err == nil {
+		t.Error("bad value accepted")
+	}
+}

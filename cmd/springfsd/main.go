@@ -26,6 +26,8 @@ import (
 	"repro/internal/netd"
 	"repro/internal/scstats"
 	"repro/internal/subcontracts/caching"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 var (
@@ -42,12 +44,27 @@ var (
 
 	cacheBudget = flag.Int64("cache-budget", 0,
 		"per-entry reply-cache byte budget for the cache manager (0 = default, negative = unbounded)")
+
+	telemetryAddr = flag.String("telemetry", "",
+		"serve /metrics, /traces, /healthz and pprof on this address (e.g. :6060; empty = off)")
+	traceSample = flag.Int("trace-sample", 0,
+		"record a trace for 1 in N calls that arrive untraced (0 = only explicitly traced calls)")
 )
 
 func main() {
 	flag.Parse()
 	log.SetPrefix("springfsd: ")
 	log.SetFlags(0)
+
+	trace.SetSampling(*traceSample)
+	if *telemetryAddr != "" {
+		tp, err := telemetry.Start(*telemetryAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tp.Close()
+		fmt.Printf("springfsd: telemetry on http://%s (/metrics /traces /healthz /debug/pprof)\n", tp.Addr())
+	}
 
 	k := kernel.New("springfsd")
 	net, err := netd.StartConfig(k.NewDomain("netd"), *addr, netd.Config{

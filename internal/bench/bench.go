@@ -29,7 +29,7 @@ type world struct {
 	cli *core.Env
 }
 
-func newWorld(b *testing.B) *world {
+func newWorld(b testing.TB) *world {
 	b.Helper()
 	k := kernel.New("bench")
 	srv, err := sctest.NewEnv(k, "server", singleton.Register, simplex.Register,

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sctest"
+	"repro/internal/subcontracts/singleton"
+	"repro/internal/trace"
+)
+
+// e17World exports the echo object and warms the call path once.
+func e17World(t testing.TB) *core.Object {
+	w := newWorld(t)
+	obj, _ := singleton.Export(w.srv, echoMT, echoSkeleton(), nil)
+	remote, err := sctest.Transfer(obj, w.cli, echoMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := callEcho(remote, nil); err != nil {
+		t.Fatal(err)
+	}
+	return remote
+}
+
+// TestE17UntracedAllocGuard is the acceptance guard for the tracing
+// hooks: an untraced call allocates exactly what it allocated before the
+// hooks existed (the PR 3 small-call budget), and enabling head sampling
+// without being picked adds zero further allocations.
+func TestE17UntracedAllocGuard(t *testing.T) {
+	remote := e17World(t)
+	call := func() {
+		if err := callEcho(remote, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trace.SetSampling(0)
+	off := testing.AllocsPerRun(200, call)
+	// 7/op is the E14 echo figure as of the tracing PR, measured identical
+	// with and without the hooks compiled in; a rise here means the
+	// untraced path started allocating.
+	if off > 7 {
+		t.Errorf("untraced call allocates %.1f/op, budget 7 (E14 echo figure)", off)
+	}
+	trace.SetSampling(1 << 30)
+	defer trace.SetSampling(0)
+	unsampled := testing.AllocsPerRun(200, call)
+	if unsampled > off {
+		t.Errorf("unsampled call allocates %.1f/op vs %.1f/op untraced; sampling must be alloc-free", unsampled, off)
+	}
+}
+
+// TestE17SampledAllocGuard bounds the recording cost: a fully traced
+// call records its span set into the ring with at most 2 extra
+// allocations per span over the untraced call (err.Error() text is the
+// only heap escape, and the echo call never errors).
+func TestE17SampledAllocGuard(t *testing.T) {
+	remote := e17World(t)
+	trace.SetSampling(0)
+	off := testing.AllocsPerRun(200, func() {
+		if err := callEcho(remote, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	trace.SetSampling(1)
+	defer trace.SetSampling(0)
+	sampled := testing.AllocsPerRun(200, func() {
+		if err := callEcho(remote, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The local echo records 3 spans (invoke, skeleton, plus the door
+	// layer's); allow 2 per span on top of the untraced figure.
+	if sampled > off+6 {
+		t.Errorf("sampled call allocates %.1f/op vs %.1f/op untraced; want ≤ +6", sampled, off)
+	}
+}
+
+// TestE17UntracedLatencyGuard bounds the hook tax in time: the untraced
+// call with sampling enabled-but-not-picked must stay within 30 ns/op of
+// the same call with sampling off (the E14 acceptance margin). Both
+// sides are measured in-process back to back, three attempts, so machine
+// noise has to hold for all three to produce a false failure.
+func TestE17UntracedLatencyGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short")
+	}
+	remote := e17World(t)
+	measure := func(every int) float64 {
+		trace.SetSampling(every)
+		defer trace.SetSampling(0)
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := callEcho(remote, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	const margin = 30.0
+	var last string
+	for attempt := 0; attempt < 3; attempt++ {
+		off := measure(0)
+		unsampled := measure(1 << 30)
+		if unsampled-off <= margin {
+			return
+		}
+		last = time.Duration(int64(unsampled-off)).String() + " over"
+	}
+	t.Errorf("unsampled call exceeds the untraced call by %s in 3 consecutive runs (budget 30ns)", last)
+}

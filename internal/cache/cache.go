@@ -42,6 +42,7 @@ import (
 	"repro/internal/scstats"
 	"repro/internal/stubs"
 	"repro/internal/subcontracts/singleton"
+	"repro/internal/trace"
 )
 
 // ManagerType is the cache manager interface's type identifier.
@@ -76,6 +77,15 @@ var (
 	gEvictions = scstats.GaugeFor("cache.evictions")
 	gBytesLive = scstats.GaugeFor("cache.bytes_live")
 	gCoalesced = scstats.GaugeFor("cache.coalesced_misses")
+)
+
+// Trace names: hits and coalesced waits are instantaneous events; a miss
+// is a real span wrapping the leader's server call, so a traced cacheable
+// call shows exactly which leg paid the server round trip.
+var (
+	spanHit       = trace.Name("cache.hit")
+	spanMiss      = trace.Name("cache.miss")
+	spanCoalesced = trace.Name("cache.coalesced")
 )
 
 // DefaultReplyBudget is the per-entry reply-cache byte budget used when
@@ -309,6 +319,7 @@ func (m *Manager) serveCacheable(e *entry, req *buffer.Buffer, info *kernel.Info
 		e.mu.Unlock()
 		m.hits.Add(1)
 		scStats.Hits.Add(1)
+		trace.Event(info, spanHit)
 		return replyBuffer(data), nil
 	}
 	if fl := e.flights[string(key)]; fl != nil {
@@ -336,7 +347,9 @@ func (m *Manager) serveCacheable(e *entry, req *buffer.Buffer, info *kernel.Info
 
 	m.misses.Add(1)
 	scStats.Misses.Add(1)
+	sp := trace.Begin(info, spanMiss)
 	rep, err := m.env.Domain.CallInfo(e.h, req, info)
+	sp.End(info, err)
 
 	// Only door-free replies are cacheable: a door reference is a
 	// capability that cannot be replayed.
@@ -374,6 +387,7 @@ func (m *Manager) followFlight(e *entry, fl *flight, done <-chan struct{}, req *
 	m.coalesced.Add(1)
 	scStats.Coalesced.Add(1)
 	gCoalesced.Add(1)
+	trace.Event(info, spanCoalesced)
 	if err := waitFlight(done, info); err != nil {
 		return nil, err
 	}

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/kernel"
+	"repro/internal/trace"
 )
 
 // ID is a subcontract identifier. It is included in the marshalled form of
@@ -227,16 +228,40 @@ func WithTrace(id uint64) CallOption {
 	return func(c *Call) { c.info.Trace = id }
 }
 
+// WithTraceContext continues the trace carried by an existing invocation
+// context: a server making downstream calls on behalf of a traced request
+// passes the kernel.Info its skeleton received, and the downstream spans
+// nest under the server-side span current at call creation. A nil or
+// untraced info leaves the call untraced (subject to head sampling).
+func WithTraceContext(info *kernel.Info) CallOption {
+	return func(c *Call) {
+		if info == nil || info.Trace == 0 {
+			return
+		}
+		c.info.Trace = info.Trace
+		c.info.Span = info.Span
+		c.info.Parent = info.Parent
+	}
+}
+
 // NewCall prepares a call on operation op with a fresh argument buffer
 // and the invocation context described by opts.
 //
 // The pre-context form NewCall(op) remains valid — generated stubs that
 // predate invocation contexts migrate mechanically, getting a call with
 // no deadline, no cancellation and no trace.
+//
+// NewCall is also where head-based trace sampling happens: a call that
+// the options left untraced consults trace.MaybeHead, so when sampling is
+// enabled (-trace-sample) every 1-in-n outermost call becomes the root of
+// a new distributed trace. With sampling off this costs one atomic load.
 func NewCall(op OpNum, opts ...CallOption) *Call {
 	c := &Call{Op: op, args: buffer.New(64)}
 	for _, o := range opts {
 		o(c)
+	}
+	if c.info.Trace == 0 {
+		c.info.Trace = trace.MaybeHead()
 	}
 	return c
 }
@@ -272,6 +297,10 @@ func (c *Call) Remaining() (time.Duration, bool) { return c.info.Remaining() }
 
 // Trace returns the call's trace identifier (0 when untraced).
 func (c *Call) Trace() uint64 { return c.info.Trace }
+
+// Span returns the call's current span identifier (0 when untraced or no
+// instrumented hop has opened a span yet).
+func (c *Call) Span() uint64 { return c.info.Span }
 
 // Subcontract is the registry's view of a subcontract: identity plus the
 // ability to fabricate an object from a marshalled form. A subcontract's

@@ -40,9 +40,19 @@ type Info struct {
 	// Cancel, when non-nil, is closed by the caller to abandon the call;
 	// the call then fails with ErrCancelled.
 	Cancel <-chan struct{}
-	// Trace is an opaque trace identifier propagated unchanged end to
-	// end (0 means untraced).
+	// Trace is the trace identifier naming the end-to-end call tree,
+	// propagated unchanged end to end (0 means untraced).
 	Trace uint64
+	// Span is the identifier of the innermost open span of the trace at
+	// this point of the call path: each instrumented hop (subcontract
+	// invoke, netd send, server skeleton) pushes a fresh span here on
+	// entry so the hops it encloses become its children, and restores the
+	// previous value on exit (see internal/trace.Begin/End). Parent is
+	// that span's own parent. Both cross the netd wire with Trace, so a
+	// server-side span nests under the client-side span that carried it
+	// there. Meaningless when Trace is 0.
+	Span   uint64
+	Parent uint64
 }
 
 // Err reports whether the context has already ended: ErrCancelled if the

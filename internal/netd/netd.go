@@ -61,6 +61,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/scstats"
+	"repro/internal/trace"
 )
 
 // Errors returned by network door operations. All transport-level failures
@@ -312,6 +313,17 @@ var (
 	serveStats = scstats.For("netd(serve)")
 )
 
+// Interned span names for the traced data path (see internal/trace):
+// spanSend brackets the whole client leg of a forwarded call — its span ID
+// rides the wire header, so everything the server records nests under it;
+// spanServe brackets the server-side door dispatch; spanReply marks the
+// moment the reply frame was queued.
+var (
+	spanSend  = trace.Name("netd.send")
+	spanServe = trace.Name("netd.serve")
+	spanReply = trace.Name("netd.reply")
+)
+
 // ---------------------------------------------------------------------
 // Export / import of door identifiers.
 
@@ -514,7 +526,12 @@ func (s *Server) Exports() int {
 // by min(s.Timeout, remaining budget) and by the cancellation channel.
 func (s *Server) forward(desc descriptor, p *peerState, epoch uint64, req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
 	begin := stats.Begin()
+	// The send span opens before forwardInfo writes the wire header, so
+	// the header carries this span's ID and the server side's spans become
+	// its children.
+	sp := trace.Begin(info, spanSend)
 	reply, err := s.forwardInfo(desc, p, epoch, req, info)
+	sp.End(info, err)
 	stats.End(begin, err)
 	return reply, err
 }
@@ -908,8 +925,11 @@ func (s *Server) handleCall(c *conn, reqID, key uint64, req *buffer.Buffer, info
 		return
 	}
 	start := serveStats.Begin()
+	sp := trace.Begin(info, spanServe)
 	out, err := s.dom.CallInfo(h, req, info)
+	sp.End(info, err)
 	serveStats.End(start, err)
+	trace.Event(info, spanReply)
 	switch {
 	case err == nil:
 		s.reply(c, reqID, codeOK, out, "")

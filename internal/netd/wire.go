@@ -33,14 +33,18 @@ import (
 // interval pings, and any received frame counts as proof of peer life.
 //
 // ctx is the invocation-context header: one flags byte, then the
-// remaining deadline budget and the trace identifier, each present only
+// remaining deadline budget and the trace identity, each present only
 // when its flag bit is set — a context-free call pays a single zero byte.
 // The deadline crosses the wire as a relative budget in nanoseconds, not
 // an absolute time, so unsynchronized machine clocks cannot corrupt it;
 // the receiving side rebases it onto its own clock (network transit time
 // is charged to the caller's budget, which is the conservative choice).
+// The trace identity is three words: the trace ID naming the end-to-end
+// call tree, the current span ID (the client-side netd.send span, so
+// server-side spans nest under the hop that carried them there), and that
+// span's parent — see internal/trace.
 //
-//	ctx: [flags u8] [budget uvarint, ns]? [trace u64]?
+//	ctx: [flags u8] [budget uvarint, ns]? ([trace u64] [span u64] [parent u64])?
 //
 // wirebuf is a flattened communication buffer: the byte stream followed by
 // the door descriptors, in the FIFO order the doors were written:
@@ -102,6 +106,8 @@ func putInfoHeader(out *buffer.Buffer, info *kernel.Info) {
 	}
 	if flags&ctxHasTrace != 0 {
 		out.WriteUint64(info.Trace)
+		out.WriteUint64(info.Span)
+		out.WriteUint64(info.Parent)
 	}
 }
 
@@ -125,6 +131,12 @@ func getInfoHeader(in *buffer.Buffer) (*kernel.Info, error) {
 	}
 	if flags&ctxHasTrace != 0 {
 		if info.Trace, err = in.ReadUint64(); err != nil {
+			return nil, err
+		}
+		if info.Span, err = in.ReadUint64(); err != nil {
+			return nil, err
+		}
+		if info.Parent, err = in.ReadUint64(); err != nil {
 			return nil, err
 		}
 	}

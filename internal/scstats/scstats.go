@@ -189,6 +189,9 @@ type Snapshot struct {
 
 	LatencySamples uint64
 	LatencyMean    time.Duration
+	// LatencySum is the total sampled latency (for exposition formats
+	// that want sum+count rather than a precomputed mean).
+	LatencySum time.Duration
 	// Buckets[i] counts sampled calls in [2^i, 2^(i+1)) ns.
 	Buckets [nBuckets]uint64
 }
@@ -208,8 +211,9 @@ func (s *Stats) snapshot() Snapshot {
 		Coalesced:        s.Coalesced.Load(),
 		LatencySamples:   s.latencyCount.Load(),
 	}
+	sn.LatencySum = time.Duration(s.latencySum.Load())
 	if sn.LatencySamples > 0 {
-		sn.LatencyMean = time.Duration(s.latencySum.Load() / sn.LatencySamples)
+		sn.LatencyMean = sn.LatencySum / time.Duration(sn.LatencySamples)
 	}
 	for i := range s.samples {
 		sn.Buckets[i] = s.samples[i].Load()
@@ -295,6 +299,21 @@ func GaugeSnapshots() []GaugeSnapshot {
 	return out
 }
 
+// AllGauges returns every interned gauge, zero-valued ones included,
+// sorted by name. Exposition formats with a fixed schema (the telemetry
+// plane's /metrics) use it so a gauge doesn't vanish from the scrape when
+// its level returns to zero.
+func AllGauges() []GaugeSnapshot {
+	var out []GaugeSnapshot
+	gauges.Range(func(_, v any) bool {
+		g := v.(*Gauge)
+		out = append(out, GaugeSnapshot{Name: g.name, Value: g.v.Load()})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // ---------------------------------------------------------------------
 
 // The process-wide registry. A sync.Map keeps For lock-free after a name's
@@ -321,6 +340,21 @@ func Snapshots() []Snapshot {
 		if sn.Calls != 0 || sn.LatencySamples != 0 {
 			out = append(out, sn)
 		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// AllSnapshots returns a snapshot of every interned subcontract, sorted
+// by name, including blocks that have seen no calls — the telemetry
+// plane's /metrics uses it so every instrumented subcontract's series
+// exist from process start rather than popping into existence at first
+// call.
+func AllSnapshots() []Snapshot {
+	var out []Snapshot
+	registry.Range(func(_, v any) bool {
+		out = append(out, v.(*Stats).snapshot())
 		return true
 	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -26,7 +26,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/scstats"
+	"repro/internal/trace"
 )
+
+// spanSkeleton brackets server-side skeleton dispatch on a traced call —
+// the innermost hop of a trace, covering argument unmarshalling, the
+// server application, and result marshalling.
+var spanSkeleton = trace.Name("skeleton")
 
 // Reply status codes.
 const (
@@ -253,12 +259,14 @@ func ServeCallInfo(skel Skeleton, req, reply *buffer.Buffer, info *kernel.Info) 
 		return nil
 	}
 	results := buffer.New(64)
+	sp := trace.Begin(info, spanSkeleton)
 	var derr error
 	if is, ok := skel.(InfoSkeleton); ok {
 		derr = is.DispatchInfo(core.OpNum(op), req, results, info)
 	} else {
 		derr = skel.Dispatch(core.OpNum(op), req, results)
 	}
+	sp.End(info, derr)
 	if err := derr; err != nil {
 		kernel.ReleaseBufferDoors(results)
 		reply.WriteByte(statusError)

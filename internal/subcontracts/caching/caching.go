@@ -31,6 +31,7 @@ import (
 	"repro/internal/scstats"
 	"repro/internal/stubs"
 	"repro/internal/subcontracts/doorsc"
+	"repro/internal/trace"
 )
 
 // SCID is the caching subcontract identifier.
@@ -51,6 +52,10 @@ var ErrNoLocalContext = errors.New("caching: no machine-local naming context in 
 // records hits and misses into it (see internal/cache), since only the
 // manager knows whether a call was served locally.
 var stats = scstats.For("caching")
+
+// spanInvoke traces caching invocations (the D2 leg into the local cache
+// manager; the manager itself records hit/miss/coalesce below it).
+var spanInvoke = trace.Name("caching.invoke")
 
 // Rep is the representation: server door D1, cache door D2, the cache
 // manager name, and the operation sets that travel with the object.
@@ -195,7 +200,9 @@ func (ops) InvokePreamble(obj *core.Object, call *core.Call) error {
 // manager (or the server directly for a locally exported object).
 func (ops) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	begin := stats.Begin()
+	sp := trace.Begin(call.Info(), spanInvoke)
 	reply, err := invoke(obj, call)
+	sp.End(call.Info(), err)
 	stats.End(begin, err)
 	return reply, err
 }

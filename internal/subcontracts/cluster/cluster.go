@@ -21,6 +21,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/scstats"
 	"repro/internal/stubs"
+	"repro/internal/trace"
 )
 
 // SCID is the cluster subcontract identifier.
@@ -28,6 +29,9 @@ const SCID core.ID = 3
 
 // stats is the subcontract's metrics block.
 var stats = scstats.For("cluster")
+
+// spanInvoke traces cluster-member invocations.
+var spanInvoke = trace.Name("cluster.invoke")
 
 // LibraryName is the simulated dynamic-linker library name (§6.2).
 const LibraryName = "cluster.so"
@@ -127,7 +131,9 @@ func (ops) InvokePreamble(obj *core.Object, call *core.Call) error {
 
 func (ops) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	begin := stats.Begin()
+	sp := trace.Begin(call.Info(), spanInvoke)
 	reply, err := invoke(obj, call)
+	sp.End(call.Info(), err)
 	stats.End(begin, err)
 	return reply, err
 }

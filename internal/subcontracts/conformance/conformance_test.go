@@ -128,9 +128,10 @@ type cachingFixture struct {
 	per map[*kernel.Kernel]*naming.Server
 }
 
-func TestCachingConformance(t *testing.T) {
-	fix := &cachingFixture{per: make(map[*kernel.Kernel]*naming.Server)}
-	newEnv := func(t *testing.T, k *kernel.Kernel, name string) *core.Env {
+// cachingEnvFunc builds the caching battery's NewEnv: per-kernel naming
+// server + cache manager, with the local context slot set on every env.
+func cachingEnvFunc(fix *cachingFixture) func(t *testing.T, k *kernel.Kernel, name string) *core.Env {
+	return func(t *testing.T, k *kernel.Kernel, name string) *core.Env {
 		t.Helper()
 		fix.mu.Lock()
 		ns, ok := fix.per[k]
@@ -166,6 +167,11 @@ func TestCachingConformance(t *testing.T) {
 		env.Set(caching.LocalContextVar, ctx)
 		return env
 	}
+}
+
+func TestCachingConformance(t *testing.T) {
+	fix := &cachingFixture{per: make(map[*kernel.Kernel]*naming.Server)}
+	newEnv := cachingEnvFunc(fix)
 	sctest.Conformance{
 		Name:        "caching",
 		NewEnv:      newEnv,

@@ -32,9 +32,15 @@ func auditStats() error {
 	// Every subcontract the battery exercises must have recorded calls,
 	// and at least one sampled latency observation (the sampler always
 	// takes a block's first call, so any traffic at all yields samples).
+	// This is the full instrumented name set: singleton, priority and txn
+	// report through the shared doorsc ops (scstats.For(o.SCName)), simplex
+	// splits its doorless same-address-space path out as "simplex(local)",
+	// and value is driven by TestValueInstrumentation below. A subcontract
+	// added without instrumentation fails here, not silently.
 	for _, name := range []string{
-		"singleton", "simplex", "cluster", "replicon", "caching",
-		"reconnectable", "txn", "priority", "shm", "video",
+		"singleton", "simplex", "simplex(local)", "cluster", "replicon",
+		"caching", "reconnectable", "txn", "priority", "shm", "video",
+		"value",
 	} {
 		sn, ok := byName[name]
 		if !ok {

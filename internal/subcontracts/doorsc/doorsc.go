@@ -18,6 +18,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/scstats"
 	"repro/internal/stubs"
+	"repro/internal/trace"
 )
 
 // Rep is the representation of a door-based object: a single door
@@ -36,6 +37,10 @@ type Ops struct {
 	// path never touches the registry. Lazily filled on first invoke
 	// (interning is idempotent, so the publication race is benign).
 	stats atomic.Pointer[scstats.Stats]
+
+	// span caches the interned "<SCName>.invoke" trace span name, filled
+	// on the first *traced* invoke (untraced calls never intern).
+	span atomic.Uint32
 }
 
 var _ core.ClientOps = (*Ops)(nil)
@@ -48,6 +53,17 @@ func (o *Ops) Stats() *scstats.Stats {
 	s := scstats.For(o.SCName)
 	o.stats.Store(s)
 	return s
+}
+
+// spanName returns the interned "<SCName>.invoke" span name. Only traced
+// calls reach it; the intern happens once per Ops instance.
+func (o *Ops) spanName() trace.NameID {
+	if v := o.span.Load(); v != 0 {
+		return trace.NameID(v)
+	}
+	id := trace.Name(o.SCName + ".invoke")
+	o.span.Store(uint32(id))
+	return id
 }
 
 // ID implements core.Subcontract.
@@ -129,7 +145,12 @@ func (o *Ops) InvokePreamble(obj *core.Object, call *core.Call) error {
 func (o *Ops) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	st := o.Stats()
 	start := st.Begin()
+	var sp trace.Span
+	if info := call.Info(); trace.Traced(info) {
+		sp = trace.Begin(info, o.spanName())
+	}
 	reply, err := o.invoke(obj, call)
+	sp.End(call.Info(), err)
 	st.End(start, err)
 	return reply, err
 }

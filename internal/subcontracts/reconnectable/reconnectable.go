@@ -24,6 +24,7 @@ import (
 	"repro/internal/stubs"
 	"repro/internal/subcontracts/doorsc"
 	"repro/internal/subcontracts/singleton"
+	"repro/internal/trace"
 )
 
 // SCID is the reconnectable subcontract identifier.
@@ -66,6 +67,15 @@ var (
 // stats is the subcontract's metrics block: calls, reconnects, and the
 // deadline endings that bound the re-resolve loop.
 var stats = scstats.For("reconnectable")
+
+// Trace span/event names: the invoke span wraps the whole recovery loop,
+// and each reconnect/retry action surfaces as a zero-duration event inside
+// it, so a trace shows exactly where the binding broke and was rebuilt.
+var (
+	spanInvoke     = trace.Name("reconnectable.invoke")
+	spanReconnect  = trace.Name("reconnectable.reconnect")
+	spanRetryEvent = trace.Name("reconnectable.retry")
+)
 
 // Rep is the representation: a normal door identifier plus an object name.
 type Rep struct {
@@ -162,7 +172,9 @@ func (ops) InvokePreamble(obj *core.Object, call *core.Call) error {
 // instead of burning the remaining resolution attempts.
 func (ops) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	begin := stats.Begin()
+	sp := trace.Begin(call.Info(), spanInvoke)
 	reply, err := invoke(obj, call)
+	sp.End(call.Info(), err)
 	stats.End(begin, err)
 	return reply, err
 }
@@ -186,6 +198,7 @@ func invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 			return reply, err
 		}
 		stats.Reconnects.Add(1)
+		trace.Event(call.Info(), spanReconnect)
 		if err := reconnect(obj, r, h, call.Info()); err != nil {
 			return nil, err
 		}
@@ -195,6 +208,7 @@ func invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 			return nil, err
 		}
 		stats.Retries.Add(1)
+		trace.Event(call.Info(), spanRetryEvent)
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/scstats"
+	"repro/internal/trace"
 )
 
 // SCID is the replicon subcontract identifier.
@@ -43,6 +44,14 @@ var ErrNoReplicas = errors.New("replicon: no live replicas")
 // stats is the subcontract's metrics block; Failovers counts replicas
 // dropped from the target set mid-scan.
 var stats = scstats.For("replicon")
+
+// Trace span/event names: the invoke span brackets the failover scan,
+// each replica death and re-attempt marked by an event inside it.
+var (
+	spanInvoke        = trace.Name("replicon.invoke")
+	spanFailoverEvent = trace.Name("replicon.failover")
+	spanRetryEvent    = trace.Name("replicon.retry")
+)
 
 // Rep is a replicon object's representation: the ordered set of replica
 // door identifiers plus the epoch of the replica set it reflects.
@@ -167,7 +176,9 @@ func (ops) InvokePreamble(obj *core.Object, call *core.Call) error {
 // far stay dropped, but no further replica is attempted.
 func (ops) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	begin := stats.Begin()
+	sp := trace.Begin(call.Info(), spanInvoke)
 	reply, err := invoke(obj, call)
+	sp.End(call.Info(), err)
 	stats.End(begin, err)
 	return reply, err
 }
@@ -194,11 +205,13 @@ func invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 		if err != nil {
 			if core.Retryable(err) {
 				stats.Failovers.Add(1)
+				trace.Event(call.Info(), spanFailoverEvent)
 				r.dropDead(dom, h)
 				if err := call.Err(); err != nil {
 					return nil, err
 				}
 				stats.Retries.Add(1)
+				trace.Event(call.Info(), spanRetryEvent)
 				continue
 			}
 			return nil, err

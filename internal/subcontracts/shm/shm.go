@@ -27,6 +27,7 @@ import (
 	"repro/internal/scstats"
 	"repro/internal/stubs"
 	"repro/internal/subcontracts/doorsc"
+	"repro/internal/trace"
 )
 
 // SCID is the shared-buffer subcontract identifier.
@@ -160,10 +161,14 @@ func (s *SC) InvokePreamble(obj *core.Object, call *core.Call) error {
 func (s *SC) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	st := stats
 	begin := st.Begin()
+	sp := trace.Begin(call.Info(), spanInvoke)
 	reply, err := s.invoke(obj, call)
+	sp.End(call.Info(), err)
 	st.End(begin, err)
 	return reply, err
 }
+
+var spanInvoke = trace.Name("shm.invoke")
 
 func (s *SC) invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	if err := obj.CheckLive(); err != nil {

@@ -21,6 +21,7 @@ import (
 	"repro/internal/scstats"
 	"repro/internal/stubs"
 	"repro/internal/subcontracts/doorsc"
+	"repro/internal/trace"
 )
 
 // SCID is the simplex subcontract identifier.
@@ -94,6 +95,9 @@ func (localOps) Name() string { return "simplex(local)" }
 // remote path reports under "simplex" through its doorsc.Ops.
 var localStats = scstats.For("simplex(local)")
 
+// spanLocalInvoke traces the doorless local invocation path.
+var spanLocalInvoke = trace.Name("simplex(local).invoke")
+
 func state(obj *core.Object) (*localState, error) {
 	st, ok := obj.Rep.(*localState)
 	if !ok {
@@ -164,7 +168,9 @@ func (localOps) InvokePreamble(obj *core.Object, call *core.Call) error {
 // with a door call).
 func (localOps) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	begin := localStats.Begin()
+	sp := trace.Begin(call.Info(), spanLocalInvoke)
 	reply, err := localInvoke(obj, call)
+	sp.End(call.Info(), err)
 	localStats.End(begin, err)
 	return reply, err
 }

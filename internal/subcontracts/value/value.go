@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/scstats"
 	"repro/internal/stubs"
+	"repro/internal/trace"
 )
 
 // SCID is the value subcontract identifier.
@@ -166,10 +167,14 @@ func (ops) InvokePreamble(obj *core.Object, call *core.Call) error {
 // local dispatch has started).
 func (ops) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	begin := stats.Begin()
+	sp := trace.Begin(call.Info(), spanInvoke)
 	reply, err := invoke(obj, call)
+	sp.End(call.Info(), err)
 	stats.End(begin, err)
 	return reply, err
 }
+
+var spanInvoke = trace.Name("value.invoke")
 
 func invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	if err := call.Err(); err != nil {
@@ -197,7 +202,7 @@ func invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 		return nil
 	})
 	reply := buffer.New(64)
-	if err := stubs.ServeCall(skel, call.Args(), reply); err != nil {
+	if err := stubs.ServeCallInfo(skel, call.Args(), reply, call.Info()); err != nil {
 		return nil, err
 	}
 	return reply, nil

@@ -25,6 +25,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/scstats"
 	"repro/internal/stubs"
+	"repro/internal/trace"
 )
 
 // SCID is the video subcontract identifier.
@@ -202,10 +203,14 @@ func (ops) InvokePreamble(obj *core.Object, call *core.Call) error {
 
 func (ops) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	begin := stats.Begin()
+	sp := trace.Begin(call.Info(), spanInvoke)
 	reply, err := invoke(obj, call)
+	sp.End(call.Info(), err)
 	stats.End(begin, err)
 	return reply, err
 }
+
+var spanInvoke = trace.Name("video.invoke")
 
 func invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	if err := obj.CheckLive(); err != nil {
@@ -366,7 +371,7 @@ func (s *Source) PushFrame(payload []byte) {
 // Export creates a video Spring object in env: control operations are
 // served by skel, frames stream from src.
 func Export(env *core.Env, mt *core.MTable, skel stubs.Skeleton, src *Source, unref func()) (*core.Object, *kernel.Door) {
-	proc := func(req *buffer.Buffer) (*buffer.Buffer, error) {
+	proc := func(req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
 		op, err := req.PeekUint32()
 		if err != nil {
 			return nil, err
@@ -387,12 +392,12 @@ func Export(env *core.Env, mt *core.MTable, skel stubs.Skeleton, src *Source, un
 			return buffer.New(0), nil
 		}
 		reply := buffer.New(64)
-		if err := stubs.ServeCall(skel, req, reply); err != nil {
+		if err := stubs.ServeCallInfo(skel, req, reply, info); err != nil {
 			return nil, err
 		}
 		return reply, nil
 	}
-	h, door := env.Domain.CreateDoor(proc, unref)
+	h, door := env.Domain.CreateDoorInfo(proc, unref)
 	r := &Rep{h: h}
 	return core.NewObject(env, mt, SC, r), door
 }

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/scstats"
+)
+
+// The Prometheus text exposition of the scstats registry.
+//
+// Per-subcontract counters become one metric family each, labelled by
+// subcontract, so a single scrape config covers every subcontract ever
+// instrumented:
+//
+//	subcontract_calls_total{subcontract="netd"} 1234
+//
+// The sampled latency histogram becomes a conventional Prometheus
+// histogram (cumulative le buckets in seconds, _sum, _count). Named
+// gauges keep their names with the dots swapped for underscores:
+// netd.conns_live → netd_conns_live.
+
+// counterFamilies maps each scstats counter to its metric name and help
+// string, in exposition order.
+var counterFamilies = []struct {
+	name string
+	help string
+	get  func(scstats.Snapshot) uint64
+}{
+	{"subcontract_calls_total", "Invocations started through the subcontract.",
+		func(s scstats.Snapshot) uint64 { return s.Calls }},
+	{"subcontract_errors_total", "Invocations that returned an error.",
+		func(s scstats.Snapshot) uint64 { return s.Errors }},
+	{"subcontract_deadline_exceeded_total", "Errors that were context deadline endings.",
+		func(s scstats.Snapshot) uint64 { return s.DeadlineExceeded }},
+	{"subcontract_cancelled_total", "Errors that were caller cancellations.",
+		func(s scstats.Snapshot) uint64 { return s.Cancelled }},
+	{"subcontract_retries_total", "Calls re-issued after a retry-safe failure.",
+		func(s scstats.Snapshot) uint64 { return s.Retries }},
+	{"subcontract_failovers_total", "Replica switches (replicon).",
+		func(s scstats.Snapshot) uint64 { return s.Failovers }},
+	{"subcontract_reconnects_total", "Binding re-resolutions (reconnectable).",
+		func(s scstats.Snapshot) uint64 { return s.Reconnects }},
+	{"subcontract_cache_hits_total", "Calls served from a local cache.",
+		func(s scstats.Snapshot) uint64 { return s.Hits }},
+	{"subcontract_cache_misses_total", "Cacheable calls forwarded to the server.",
+		func(s scstats.Snapshot) uint64 { return s.Misses }},
+	{"subcontract_cache_coalesced_total", "Misses that shared another caller's in-flight server call.",
+		func(s scstats.Snapshot) uint64 { return s.Coalesced }},
+}
+
+// writeMetrics renders the whole registry.
+func writeMetrics(w io.Writer) {
+	sns := scstats.AllSnapshots()
+
+	for _, fam := range counterFamilies {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", fam.name, fam.help, fam.name)
+		for _, sn := range sns {
+			fmt.Fprintf(w, "%s{subcontract=%q} %d\n", fam.name, sn.Name, fam.get(sn))
+		}
+	}
+
+	// The sampled latency histogram. Bucket i of scstats covers
+	// [2^i, 2^(i+1)) ns; Prometheus wants cumulative counts keyed by the
+	// inclusive upper bound in seconds.
+	const hist = "subcontract_latency_seconds"
+	fmt.Fprintf(w, "# HELP %s Sampled invocation latency (1 in 8 calls).\n# TYPE %s histogram\n", hist, hist)
+	for _, sn := range sns {
+		var cum uint64
+		for i, c := range sn.Buckets {
+			cum += c
+			if c == 0 && i != len(sn.Buckets)-1 {
+				// Sparse exposition: only emit bounds where the count
+				// changed (plus +Inf below); cumulative semantics are
+				// preserved for any scraper summing adjacent bounds.
+				continue
+			}
+			le := float64(uint64(2)<<i) / 1e9 // upper bound of bucket i, seconds
+			fmt.Fprintf(w, "%s_bucket{subcontract=%q,le=%q} %d\n", hist, sn.Name, formatFloat(le), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{subcontract=%q,le=\"+Inf\"} %d\n", hist, sn.Name, sn.LatencySamples)
+		fmt.Fprintf(w, "%s_sum{subcontract=%q} %s\n", hist, sn.Name, formatFloat(sn.LatencySum.Seconds()))
+		fmt.Fprintf(w, "%s_count{subcontract=%q} %d\n", hist, sn.Name, sn.LatencySamples)
+	}
+
+	// Named gauges, every one, zeros included (a level returning to zero
+	// must not vanish from the scrape).
+	for _, g := range scstats.AllGauges() {
+		name := sanitizeMetricName(g.Name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Value)
+	}
+}
+
+// sanitizeMetricName maps a gauge name to the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:], replacing everything else with '_'.
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a float as a Go-syntax literal, which the
+// Prometheus text format accepts (exponents included — nanosecond bucket
+// bounds in seconds need them).
+func formatFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}

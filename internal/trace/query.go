@@ -1,0 +1,108 @@
+package trace
+
+import "sort"
+
+// SpanData is one completed span as read back from the ring.
+type SpanData struct {
+	TraceID  uint64
+	SpanID   uint64
+	ParentID uint64 // 0 for a root span
+	Name     string
+	Err      string // "" on success; truncated to errBytes
+	Start    int64  // UnixNano
+	Duration int64  `json:"DurationNs"` // nanoseconds; 0 for events
+}
+
+// scan visits every readable slot in the ring.
+func scan(visit func(SpanData)) {
+	r := recPtr.Load()
+	if r == nil {
+		return
+	}
+	for si := range r.slots {
+		for i := range r.slots[si] {
+			if sd, ok := r.slots[si][i].read(); ok {
+				visit(sd)
+			}
+		}
+	}
+}
+
+// Collect returns every recorded span of one trace, ordered by start time
+// (ties broken by span ID for determinism).
+func Collect(traceID uint64) []SpanData {
+	var out []SpanData
+	scan(func(sd SpanData) {
+		if sd.TraceID == traceID {
+			out = append(out, sd)
+		}
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].SpanID < out[j].SpanID
+	})
+	return out
+}
+
+// Roots returns the most recent root spans (ParentID == 0), newest first,
+// at most one per trace, capped at max (≤0 means no cap). This is the
+// telemetry plane's /traces listing: "what end-to-end calls happened
+// lately".
+func Roots(max int) []SpanData {
+	latest := make(map[uint64]SpanData)
+	scan(func(sd SpanData) {
+		if sd.ParentID != 0 {
+			return
+		}
+		if prev, ok := latest[sd.TraceID]; !ok || sd.Start > prev.Start {
+			latest[sd.TraceID] = sd
+		}
+	})
+	out := make([]SpanData, 0, len(latest))
+	for _, sd := range latest {
+		out = append(out, sd)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start > out[j].Start
+		}
+		return out[i].SpanID > out[j].SpanID
+	})
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// Node is one span in a trace tree, children ordered by start time.
+type Node struct {
+	SpanData
+	Children []*Node `json:",omitempty"`
+}
+
+// Tree assembles one trace's spans into parent→child trees. Spans whose
+// parent is absent from the ring (not yet ended, or already overwritten)
+// surface as additional roots rather than vanishing, so a partially
+// recorded trace still renders.
+func Tree(traceID uint64) []*Node {
+	spans := Collect(traceID)
+	if len(spans) == 0 {
+		return nil
+	}
+	byID := make(map[uint64]*Node, len(spans))
+	for i := range spans {
+		byID[spans[i].SpanID] = &Node{SpanData: spans[i]}
+	}
+	var roots []*Node
+	for _, sd := range spans { // spans is start-ordered, so children append in order
+		n := byID[sd.SpanID]
+		if p, ok := byID[sd.ParentID]; ok && sd.ParentID != 0 && sd.ParentID != sd.SpanID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}

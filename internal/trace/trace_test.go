@@ -1,0 +1,346 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+func reset(t *testing.T) {
+	t.Helper()
+	Reset()
+	SetSampling(0)
+	t.Cleanup(func() {
+		Reset()
+		SetSampling(0)
+	})
+}
+
+func TestNameInterning(t *testing.T) {
+	a := Name("test.alpha")
+	b := Name("test.beta")
+	if a == 0 || b == 0 {
+		t.Fatalf("Name returned reserved ID 0: a=%d b=%d", a, b)
+	}
+	if a == b {
+		t.Fatalf("distinct names interned to one ID %d", a)
+	}
+	if again := Name("test.alpha"); again != a {
+		t.Fatalf("re-interning changed ID: %d then %d", a, again)
+	}
+	if got := nameOf(a); got != "test.alpha" {
+		t.Fatalf("nameOf(%d) = %q", a, got)
+	}
+	if got := nameOf(0); got != "" {
+		t.Fatalf("nameOf(0) = %q, want empty", got)
+	}
+}
+
+func TestBeginEndThreadsParentage(t *testing.T) {
+	reset(t)
+	outer := Name("test.outer")
+	inner := Name("test.inner")
+
+	info := &kernel.Info{Trace: NewTraceID()}
+	spO := Begin(info, outer)
+	if info.Span != spO.ID || info.Parent != 0 {
+		t.Fatalf("after outer Begin: Span=%d Parent=%d, want %d/0", info.Span, info.Parent, spO.ID)
+	}
+	spI := Begin(info, inner)
+	if info.Span != spI.ID || info.Parent != spO.ID {
+		t.Fatalf("after inner Begin: Span=%d Parent=%d, want %d/%d", info.Span, info.Parent, spI.ID, spO.ID)
+	}
+	if spI.Parent != spO.ID {
+		t.Fatalf("inner span parent = %d, want %d", spI.Parent, spO.ID)
+	}
+	spI.End(info, nil)
+	if info.Span != spO.ID || info.Parent != 0 {
+		t.Fatalf("after inner End: Span=%d Parent=%d, want %d/0", info.Span, info.Parent, spO.ID)
+	}
+	spO.End(info, errors.New("boom"))
+	if info.Span != 0 || info.Parent != 0 {
+		t.Fatalf("after outer End: Span=%d Parent=%d, want 0/0", info.Span, info.Parent)
+	}
+
+	spans := Collect(info.Trace)
+	if len(spans) != 2 {
+		t.Fatalf("Collect: %d spans, want 2: %+v", len(spans), spans)
+	}
+	byName := map[string]SpanData{}
+	for _, sd := range spans {
+		byName[sd.Name] = sd
+	}
+	o, i := byName["test.outer"], byName["test.inner"]
+	if o.ParentID != 0 || i.ParentID != o.SpanID {
+		t.Fatalf("parentage wrong: outer=%+v inner=%+v", o, i)
+	}
+	if o.Err != "boom" {
+		t.Fatalf("outer Err = %q, want boom", o.Err)
+	}
+	if i.Err != "" {
+		t.Fatalf("inner Err = %q, want empty", i.Err)
+	}
+}
+
+func TestUntracedIsNoop(t *testing.T) {
+	reset(t)
+	n := Name("test.noop")
+	if sp := Begin(nil, n); sp.ID != 0 {
+		t.Fatalf("Begin(nil) produced a span: %+v", sp)
+	}
+	info := &kernel.Info{}
+	sp := Begin(info, n)
+	if sp.ID != 0 || info.Span != 0 {
+		t.Fatalf("Begin on untraced info mutated it: sp=%+v info=%+v", sp, info)
+	}
+	sp.End(info, errors.New("ignored"))
+	Event(info, n)
+	Event(nil, n)
+	if r := recPtr.Load(); r != nil {
+		t.Fatal("untraced operations installed the recorder")
+	}
+}
+
+func TestEventParent(t *testing.T) {
+	reset(t)
+	inv := Name("test.invoke")
+	ev := Name("test.retry")
+	info := &kernel.Info{Trace: NewTraceID()}
+	sp := Begin(info, inv)
+	Event(info, ev)
+	sp.End(info, nil)
+
+	spans := Collect(info.Trace)
+	if len(spans) != 2 {
+		t.Fatalf("want 2 spans, got %+v", spans)
+	}
+	var evd SpanData
+	for _, sd := range spans {
+		if sd.Name == "test.retry" {
+			evd = sd
+		}
+	}
+	if evd.ParentID != sp.ID || evd.Duration != 0 {
+		t.Fatalf("event = %+v, want parent %d duration 0", evd, sp.ID)
+	}
+}
+
+func TestErrorTextTruncated(t *testing.T) {
+	reset(t)
+	n := Name("test.longerr")
+	long := strings.Repeat("x", 3*errBytes)
+	info := &kernel.Info{Trace: NewTraceID()}
+	sp := Begin(info, n)
+	sp.End(info, errors.New(long))
+	spans := Collect(info.Trace)
+	if len(spans) != 1 {
+		t.Fatalf("want 1 span, got %d", len(spans))
+	}
+	if want := long[:errBytes]; spans[0].Err != want {
+		t.Fatalf("Err = %q (len %d), want %d-byte prefix", spans[0].Err, len(spans[0].Err), errBytes)
+	}
+}
+
+func TestMaybeHeadSampling(t *testing.T) {
+	reset(t)
+	if id := MaybeHead(); id != 0 {
+		t.Fatalf("sampling off but MaybeHead = %d", id)
+	}
+	SetSampling(1)
+	for i := 0; i < 10; i++ {
+		if MaybeHead() == 0 {
+			t.Fatal("sample-every-call returned 0")
+		}
+	}
+	SetSampling(4)
+	hits := 0
+	for i := 0; i < 400; i++ {
+		if MaybeHead() != 0 {
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Fatalf("1-in-4 sampling over 400 calls: %d hits, want 100", hits)
+	}
+	SetSampling(-7)
+	if SamplingEvery() != 0 {
+		t.Fatalf("negative period not clamped: %d", SamplingEvery())
+	}
+}
+
+func TestTreeAssembly(t *testing.T) {
+	reset(t)
+	root := Name("test.root")
+	mid := Name("test.mid")
+	leaf := Name("test.leaf")
+	info := &kernel.Info{Trace: NewTraceID()}
+	spR := Begin(info, root)
+	spM := Begin(info, mid)
+	spL := Begin(info, leaf)
+	spL.End(info, nil)
+	spM.End(info, nil)
+	spR.End(info, nil)
+
+	trees := Tree(info.Trace)
+	if len(trees) != 1 {
+		t.Fatalf("want 1 root, got %d", len(trees))
+	}
+	r := trees[0]
+	if r.Name != "test.root" || len(r.Children) != 1 {
+		t.Fatalf("root = %+v", r)
+	}
+	m := r.Children[0]
+	if m.Name != "test.mid" || len(m.Children) != 1 || m.Children[0].Name != "test.leaf" {
+		t.Fatalf("mid subtree wrong: %+v", m)
+	}
+
+	roots := Roots(10)
+	found := false
+	for _, sd := range roots {
+		if sd.TraceID == info.Trace && sd.Name == "test.root" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Roots missing the trace root: %+v", roots)
+	}
+}
+
+// TestOrphanSurfacesAsRoot: a child whose parent was never recorded (still
+// open, or evicted) must still render.
+func TestOrphanSurfacesAsRoot(t *testing.T) {
+	reset(t)
+	n := Name("test.orphan")
+	info := &kernel.Info{Trace: NewTraceID(), Span: 12345} // parent never recorded
+	sp := Begin(info, n)
+	sp.End(info, nil)
+	trees := Tree(info.Trace)
+	if len(trees) != 1 || trees[0].Name != "test.orphan" {
+		t.Fatalf("orphan not surfaced as root: %+v", trees)
+	}
+}
+
+// TestRingWrap: overflowing the ring must drop old spans, not corrupt new
+// ones.
+func TestRingWrap(t *testing.T) {
+	reset(t)
+	n := Name("test.wrap")
+	traceID := NewTraceID()
+	total := defaultCapacity * 3
+	for i := 0; i < total; i++ {
+		info := &kernel.Info{Trace: traceID}
+		sp := Begin(info, n)
+		sp.End(info, nil)
+	}
+	spans := Collect(traceID)
+	if len(spans) == 0 || len(spans) > defaultCapacity {
+		t.Fatalf("after wrap: %d spans readable, want (0, %d]", len(spans), defaultCapacity)
+	}
+	for _, sd := range spans {
+		if sd.Name != "test.wrap" || sd.TraceID != traceID {
+			t.Fatalf("corrupt slot after wrap: %+v", sd)
+		}
+	}
+}
+
+// TestConcurrentRecordAndRead hammers the ring from many writers while
+// readers scan; under -race this proves the seqlock is atomics-only, and
+// the validity checks prove torn slots are rejected.
+func TestConcurrentRecordAndRead(t *testing.T) {
+	reset(t)
+	const writers = 8
+	const perWriter = 2000
+	names := make([]NameID, writers)
+	for i := range names {
+		names[i] = Name(fmt.Sprintf("test.w%d", i))
+	}
+	stop := make(chan struct{})
+	var rd sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		rd.Add(1)
+		go func() {
+			defer rd.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				scan(func(sd SpanData) {
+					if sd.SpanID == 0 || sd.TraceID == 0 {
+						t.Errorf("invalid slot surfaced: %+v", sd)
+					}
+					if !strings.HasPrefix(sd.Name, "test.w") {
+						t.Errorf("slot name corrupt: %q", sd.Name)
+					}
+				})
+			}
+		}()
+	}
+	var wr sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wr.Add(1)
+		go func(w int) {
+			defer wr.Done()
+			for i := 0; i < perWriter; i++ {
+				info := &kernel.Info{Trace: NewTraceID()}
+				sp := Begin(info, names[w])
+				Event(info, names[w])
+				sp.End(info, nil)
+			}
+		}(w)
+	}
+	wr.Wait()
+	close(stop)
+	rd.Wait()
+}
+
+// TestUntracedAllocs: the zero-cost promise — Begin/End/Event on an
+// untraced context allocate nothing, and MaybeHead with sampling off
+// allocates nothing.
+func TestUntracedAllocs(t *testing.T) {
+	reset(t)
+	n := Name("test.alloc")
+	info := &kernel.Info{}
+	if a := testing.AllocsPerRun(200, func() {
+		sp := Begin(info, n)
+		Event(info, n)
+		sp.End(info, nil)
+	}); a != 0 {
+		t.Fatalf("untraced Begin/Event/End: %v allocs/run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(200, func() {
+		if MaybeHead() != 0 {
+			t.Fatal("sampling unexpectedly on")
+		}
+	}); a != 0 {
+		t.Fatalf("MaybeHead(off): %v allocs/run, want 0", a)
+	}
+}
+
+// TestSampledSpanAllocs: a sampled span stays within the ≤2 alloc budget
+// (the only allocation on a successful span is none; with an error, the
+// error-text formatting).
+func TestSampledSpanAllocs(t *testing.T) {
+	reset(t)
+	n := Name("test.sampled")
+	info := &kernel.Info{Trace: NewTraceID()}
+	rec() // install outside the measured region
+	if a := testing.AllocsPerRun(200, func() {
+		sp := Begin(info, n)
+		sp.End(info, nil)
+	}); a > 2 {
+		t.Fatalf("sampled span: %v allocs/run, want ≤2", a)
+	}
+	boom := errors.New("boom")
+	if a := testing.AllocsPerRun(200, func() {
+		sp := Begin(info, n)
+		sp.End(info, boom)
+	}); a > 2 {
+		t.Fatalf("sampled failing span: %v allocs/run, want ≤2", a)
+	}
+}
