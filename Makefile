@@ -16,20 +16,24 @@ tier2: faults bench-quick obs
 	go vet ./...
 	go test -race ./...
 
-# The fault suite: partition, crash-recovery, lease-expiry and breaker
-# tests across netd and the subcontracts, under the race detector.
+# The fault suite: partition, crash-recovery, lease-expiry, breaker and
+# transport-tier (negotiation, fallback, bulk hand-off teardown) tests
+# across netd and the subcontracts, under the race detector.
 faults:
-	go test -race -run 'Lease|Partition|Breaker|Fault|Sever|Truncat|Kill|Refus|Hung|Dead|Replay|Heartbeat|Reclaim' \
+	go test -race -run 'Lease|Partition|Breaker|Fault|Sever|Truncat|Kill|Refus|Hung|Dead|Replay|Heartbeat|Reclaim|Negotiat|Fallback|Handoff|Teardown' \
 		./internal/faultnet/ ./internal/netd/ ./internal/integration/
 
-# The E15 throughput sweep (parallelism × payload over loopback TCP) and
-# the E16 local-path sweep (null door calls, refcount churn, cache-hit
-# mixes), recorded as JSON. Existing baselines in BENCH_netd.json /
-# BENCH_cache.json are preserved, so each file carries before/after
-# numbers across optimization PRs.
+# The E15/E18 throughput sweeps (parallelism × payload, over loopback
+# TCP and over the same-machine transport tier) and the E16 local-path
+# sweep (null door calls, refcount churn, cache-hit mixes), recorded as
+# JSON. Existing baselines in BENCH_netd.json / BENCH_cache.json are
+# preserved, so each file carries before/after numbers across
+# optimization PRs.
 bench:
-	go test -run NONE -bench 'E15' -benchmem . | tee /tmp/bench_e15.out
-	go run ./cmd/benchjson -o BENCH_netd.json < /tmp/bench_e15.out
+	go test -run NONE -bench 'E15|E18' -benchmem -benchtime 2s . | tee /tmp/bench_netd.out
+	go run ./cmd/benchjson -experiment 'E15/E18 netd throughput: loopback TCP vs negotiated same-machine tier (unix+shm)' \
+		-note 'one run, shared host: the P1 latency cells swing ±40% day to day; compare E18 vs E15 within a run, and 64KiB cells against the baseline array' \
+		-o BENCH_netd.json < /tmp/bench_netd.out
 	go test -run NONE -bench 'E16' -benchmem . | tee /tmp/bench_e16.out
 	go run ./cmd/benchjson -experiment 'E16 lock-free local door path + scalable cache manager (intra-machine)' \
 		-o BENCH_cache.json < /tmp/bench_e16.out
@@ -39,7 +43,7 @@ bench:
 
 # One-iteration smoke: the benchmarks still compile and run.
 bench-quick:
-	go test -run NONE -bench 'E15|E16|E17' -benchtime 1x .
+	go test -run NONE -bench 'E15|E16|E17|E18' -benchtime 1x .
 
 bench-all:
 	go test -bench=. -benchmem

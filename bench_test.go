@@ -92,6 +92,20 @@ func BenchmarkE15_Throughput_P64_0B(b *testing.B)    { bench.E15Throughput(64, 0
 func BenchmarkE15_Throughput_P64_1KiB(b *testing.B)  { bench.E15Throughput(64, 1024)(b) }
 func BenchmarkE15_Throughput_P64_64KiB(b *testing.B) { bench.E15Throughput(64, 65536)(b) }
 
+// E18 — the same workload over the same-machine transport tier (unix
+// control path + mapped bulk regions), so every cell has its E15
+// loopback-TCP twin in BENCH_netd.json. The 64 KiB cells are the
+// tier's acceptance gate (≥5× over TCP).
+func BenchmarkE18_SameMachine_P1_0B(b *testing.B)     { bench.E18SameMachine(1, 0)(b) }
+func BenchmarkE18_SameMachine_P1_1KiB(b *testing.B)   { bench.E18SameMachine(1, 1024)(b) }
+func BenchmarkE18_SameMachine_P1_64KiB(b *testing.B)  { bench.E18SameMachine(1, 65536)(b) }
+func BenchmarkE18_SameMachine_P8_0B(b *testing.B)     { bench.E18SameMachine(8, 0)(b) }
+func BenchmarkE18_SameMachine_P8_1KiB(b *testing.B)   { bench.E18SameMachine(8, 1024)(b) }
+func BenchmarkE18_SameMachine_P8_64KiB(b *testing.B)  { bench.E18SameMachine(8, 65536)(b) }
+func BenchmarkE18_SameMachine_P64_0B(b *testing.B)    { bench.E18SameMachine(64, 0)(b) }
+func BenchmarkE18_SameMachine_P64_1KiB(b *testing.B)  { bench.E18SameMachine(64, 1024)(b) }
+func BenchmarkE18_SameMachine_P64_64KiB(b *testing.B) { bench.E18SameMachine(64, 65536)(b) }
+
 // E16 — lock-free local door path + cache manager scalability: null
 // local door call, door refcount round trip, and cached-read throughput
 // (hot / cold / invalidating mixes) at parallelism ∈ {1, 8, 64}. `make

@@ -40,6 +40,8 @@ var (
 	hbInterval  = flag.Duration("heartbeat", time.Second, "heartbeat interval on idle peer connections")
 	leaseGrace  = flag.Duration("lease-grace", 10*time.Second,
 		"how long a peer may be silent or disconnected before its references are reclaimed")
+	sameMachine = flag.Bool("same-machine", false,
+		"enable the same-machine transport tier (unix:<path> addresses, mapped-region bulk replies)")
 
 	cacheBudget = flag.Int64("cache-budget", 0,
 		"per-entry reply-cache byte budget for the cache manager (0 = default, negative = unbounded)")
@@ -75,12 +77,16 @@ func main() {
 
 	// Local machine setup: kernel, network door server, naming, cache.
 	k := kernel.New("fsh")
-	net, err := netd.StartConfig(k.NewDomain("netd"), "127.0.0.1:0", netd.Config{
+	cfg := netd.Config{
 		CallTimeout:       *callTimeout,
 		DialTimeout:       *dialTimeout,
 		HeartbeatInterval: *hbInterval,
 		LeaseGrace:        *leaseGrace,
-	})
+	}
+	if *sameMachine {
+		cfg.Transport = netd.SameMachine()
+	}
+	net, err := netd.Start(k.NewDomain("netd"), "127.0.0.1:0", netd.With(cfg))
 	if err != nil {
 		log.Fatal(err)
 	}

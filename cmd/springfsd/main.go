@@ -41,6 +41,10 @@ var (
 	hbInterval  = flag.Duration("heartbeat", time.Second, "heartbeat interval on idle peer connections")
 	leaseGrace  = flag.Duration("lease-grace", 10*time.Second,
 		"how long a peer may be silent or disconnected before its references are reclaimed")
+	sameMachine = flag.Bool("same-machine", false,
+		"enable the same-machine transport tier: listen on unix:<path> addresses and hand large replies over as mapped regions to co-resident peers")
+	bulkThreshold = flag.Int("bulk-threshold", 0,
+		"payload size (bytes) above which a same-machine call rides a mapped region instead of the frame (0 = default)")
 
 	cacheBudget = flag.Int64("cache-budget", 0,
 		"per-entry reply-cache byte budget for the cache manager (0 = default, negative = unbounded)")
@@ -67,12 +71,17 @@ func main() {
 	}
 
 	k := kernel.New("springfsd")
-	net, err := netd.StartConfig(k.NewDomain("netd"), *addr, netd.Config{
+	cfg := netd.Config{
 		CallTimeout:       *callTimeout,
 		DialTimeout:       *dialTimeout,
 		HeartbeatInterval: *hbInterval,
 		LeaseGrace:        *leaseGrace,
-	})
+		BulkThreshold:     *bulkThreshold,
+	}
+	if *sameMachine {
+		cfg.Transport = netd.SameMachine()
+	}
+	net, err := netd.Start(k.NewDomain("netd"), *addr, netd.With(cfg))
 	if err != nil {
 		log.Fatal(err)
 	}

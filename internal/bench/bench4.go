@@ -65,8 +65,16 @@ func e15Setup(b *testing.B) *core.Object {
 // E15Throughput echoes payload bytes through the wire with the given
 // number of concurrent callers, splitting b.N across them.
 func E15Throughput(parallelism, payload int) func(*testing.B) {
+	return throughputBench(e15Setup, parallelism, payload)
+}
+
+// throughputBench is the body shared by the E15 (loopback TCP) and E18
+// (same-machine tier) sweeps: echo payload bytes with parallelism
+// concurrent callers, splitting b.N across them. setup builds the pair
+// of machines and returns the client-side proxy.
+func throughputBench(setup func(*testing.B) *core.Object, parallelism, payload int) func(*testing.B) {
 	return func(b *testing.B) {
-		remote := e15Setup(b)
+		remote := setup(b)
 		p := make([]byte, payload)
 		if err := callEcho(remote, p); err != nil { // warm the conn + pools
 			b.Fatal(err)

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/netd"
+	"repro/internal/sctest"
+	"repro/internal/subcontracts/singleton"
+)
+
+// ---------------------------------------------------------------------
+// E18 — the same-machine transport tier, measured against the E15
+// loopback-TCP baseline with the identical workload. The control/frame
+// path runs over a unix domain socket and payloads at or above the bulk
+// threshold are handed over as mapped regions instead of being copied
+// through the frame stream, so the 64 KiB cells measure what the tier
+// redesign buys: the wire carries a region identifier, and the payload
+// bytes cross the machine once, at grant, instead of being copied
+// through both endpoints' socket buffers. The sweep mirrors E15 —
+// parallelism ∈ {1, 8, 64} × payload ∈ {0, 1 KiB, 64 KiB} — so every
+// cell has a TCP twin in BENCH_netd.json; the 0-byte cells bound what
+// the unix control path alone changes for calls too small for the bulk
+// tier.
+
+// e18Setup builds two machines joined by the same-machine transport:
+// unix-socket listeners, bulk regions negotiated at hello.
+func e18Setup(b *testing.B) *core.Object {
+	b.Helper()
+	ka := kernel.New("e18-server")
+	sa, err := netd.Start(ka.NewDomain("server-netd"), "unix:"+b.TempDir()+"/s.sock",
+		netd.WithTransport(netd.SameMachine()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { sa.Close() })
+	envA, err := sctest.NewEnv(ka, "server-app", singleton.Register)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj, _ := singleton.Export(envA, echoMT, echoSkeleton(), nil)
+	sa.PublishRoot("echo", obj)
+
+	kb := kernel.New("e18-client")
+	sb, err := netd.Start(kb.NewDomain("client-netd"), "unix:"+b.TempDir()+"/c.sock",
+		netd.WithTransport(netd.SameMachine()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { sb.Close() })
+	envB, err := sctest.NewEnv(kb, "client-app", singleton.Register)
+	if err != nil {
+		b.Fatal(err)
+	}
+	remote, err := sb.ImportRootObject(envB, sa.Addr(), "echo", echoMT)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return remote
+}
+
+// E18SameMachine is E15Throughput over the same-machine tier.
+func E18SameMachine(parallelism, payload int) func(*testing.B) {
+	return throughputBench(e18Setup, parallelism, payload)
+}

@@ -56,6 +56,7 @@ type Buffer struct {
 	rpos    int
 	doors   []Door
 	dcursor int
+	region  *Region // backing region, if built by FromRegion
 }
 
 // New returns an empty buffer with capacity hint n.
@@ -75,12 +76,60 @@ const maxPooledCap = 256 << 10
 
 // Get returns an empty buffer from the process-wide pool, grown to at
 // least capacity hint n. Release it with Put when its contents are dead.
+// A buffer whose pooled capacity is too small is re-armed from the
+// storage pool (see Recycle) before falling back to a fresh allocation,
+// so detached payload arrays circulate back into the marshal paths.
 func Get(n int) *Buffer {
 	b := pool.Get().(*Buffer)
 	if cap(b.data) < n {
-		b.data = make([]byte, 0, n)
+		if s := getStorage(n); s != nil {
+			b.data = s
+		} else {
+			b.data = make([]byte, 0, n)
+		}
 	}
 	return b
+}
+
+// storagePool recycles bare byte arrays: the payload storage behind
+// detached buffers and bulk-region grants, which outlives the Buffer
+// struct that grew it. Entries are *[]byte with length 0.
+var storagePool sync.Pool
+
+// getStorage returns a zero-length pooled array with capacity at least n,
+// or nil when the pool cannot supply one. An array too small for the
+// request is dropped to the collector rather than returned to the pool:
+// the hot paths that miss here are about to grow past it anyway.
+func getStorage(n int) []byte {
+	v := storagePool.Get()
+	if v == nil {
+		return nil
+	}
+	s := *(v.(*[]byte))
+	if cap(s) < n {
+		return nil
+	}
+	return s
+}
+
+// GetStorage returns a length-n byte slice from the storage pool, falling
+// back to a fresh allocation. Pair with Recycle.
+func GetStorage(n int) []byte {
+	if s := getStorage(n); s != nil {
+		return s[:n]
+	}
+	return make([]byte, n)
+}
+
+// Recycle returns a payload array to the storage pool. The caller must
+// own p outright — no buffer, region or reader may alias it afterwards.
+// Oversized arrays are dropped, mirroring Put.
+func Recycle(p []byte) {
+	if cap(p) == 0 || cap(p) > maxPooledCap {
+		return
+	}
+	p = p[:0]
+	storagePool.Put(&p)
 }
 
 // Put resets b and returns it to the pool. The caller must own b
@@ -119,8 +168,14 @@ func (b *Buffer) DoorCount() int { return len(b.doors) }
 
 // Reset empties the buffer for reuse, retaining allocated capacity.
 // Any unconsumed door references are dropped; the caller is responsible for
-// releasing them first (see kernel.ReleaseBufferDoors).
+// releasing them first (see kernel.ReleaseBufferDoors). A region-backed
+// buffer releases its region and drops the aliased bytes.
 func (b *Buffer) Reset() {
+	if r := b.region; r != nil {
+		b.region = nil
+		b.data = nil // the bytes belong to the released region
+		r.Release()
+	}
 	b.data = b.data[:0]
 	b.rpos = 0
 	clear(b.doors) // don't let a recycled buffer pin dropped references
@@ -377,6 +432,61 @@ func (b *Buffer) ReadDoor() (Door, error) {
 func (b *Buffer) Splice(other *Buffer) {
 	b.data = append(b.data, other.data...)
 	b.doors = append(b.doors, other.doors...)
+}
+
+// Detach removes and returns the buffer's byte storage, leaving the byte
+// stream empty (door slots are untouched). The caller becomes the sole
+// owner of the returned slice. It refuses (nil, false) on a region-backed
+// buffer: those bytes belong to the region's owner — often a pool that
+// will recycle them — and cannot change hands.
+func (b *Buffer) Detach() ([]byte, bool) {
+	if b.region != nil {
+		return nil, false
+	}
+	data := b.data
+	b.data = nil
+	b.rpos = 0
+	return data, true
+}
+
+// Regioned reports whether the buffer's bytes are backed by a Region —
+// storage with an owner and a release lifecycle of its own.
+func (b *Buffer) Regioned() bool { return b.region != nil }
+
+// A Mark captures a buffer's write position, so a speculative section —
+// bytes and door references — can be rolled back with Truncate.
+type Mark struct {
+	nbytes int
+	ndoors int
+}
+
+// Mark returns the current end-of-stream position.
+func (b *Buffer) Mark() Mark { return Mark{nbytes: len(b.data), ndoors: len(b.doors)} }
+
+// Truncate discards everything written after m, returning the unconsumed
+// door references removed so the caller can release them. Read positions
+// past the mark are pulled back to it.
+func (b *Buffer) Truncate(m Mark) []Door {
+	var removed []Door
+	if m.ndoors < len(b.doors) {
+		for _, d := range b.doors[m.ndoors:] {
+			if d != nil {
+				removed = append(removed, d)
+			}
+		}
+		clear(b.doors[m.ndoors:])
+		b.doors = b.doors[:m.ndoors]
+	}
+	if m.nbytes < len(b.data) {
+		b.data = b.data[:m.nbytes]
+	}
+	if b.rpos > m.nbytes {
+		b.rpos = m.nbytes
+	}
+	if b.dcursor > m.ndoors {
+		b.dcursor = m.ndoors
+	}
+	return removed
 }
 
 // TakeDoors removes and returns all remaining (unconsumed) door references,

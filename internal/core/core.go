@@ -256,7 +256,7 @@ func WithTraceContext(info *kernel.Info) CallOption {
 // enabled (-trace-sample) every 1-in-n outermost call becomes the root of
 // a new distributed trace. With sampling off this costs one atomic load.
 func NewCall(op OpNum, opts ...CallOption) *Call {
-	c := &Call{Op: op, args: buffer.New(64)}
+	c := &Call{Op: op}
 	for _, o := range opts {
 		o(c)
 	}
@@ -271,8 +271,16 @@ func NewCall(op OpNum, opts ...CallOption) *Call {
 // Deprecated: use NewCall, which accepts the same single argument.
 func NewBareCall(op OpNum) *Call { return NewCall(op) }
 
-// Args returns the buffer arguments are marshalled into.
-func (c *Call) Args() *buffer.Buffer { return c.args }
+// Args returns the buffer arguments are marshalled into, drawn lazily
+// from the buffer pool — a call that never marshals (a context probe, a
+// preamble that substitutes its own buffer) never allocates one. The
+// stub layer recycles it when the call completes.
+func (c *Call) Args() *buffer.Buffer {
+	if c.args == nil {
+		c.args = buffer.Get(64)
+	}
+	return c.args
+}
 
 // SetArgs replaces the argument buffer (invoke_preamble's privilege).
 func (c *Call) SetArgs(b *buffer.Buffer) { c.args = b }

@@ -7,14 +7,18 @@
 //
 // A Net is a control plane for every connection created through its
 // wrapped listener or dialer. Faults are flipped at runtime and apply to
-// live connections as well as future ones:
+// live connections as well as future ones. It composes over the netd
+// Transport interface through netd.FuncTransport: the wrapped funcs
+// carry the fault control, Inner supplies the underlying transport (and,
+// via Unwrap, its capability set and bulk-region tier), so every fault
+// scenario runs unchanged over TCP or the same-machine tier:
 //
 //	fn := faultnet.New()
-//	tr := netd.Transport{
-//		Listen: func(a string) (net.Listener, error) { return fn.Listen("tcp", a) },
-//		Dial:   fn.Dialer(nil),
+//	tr := netd.FuncTransport{
+//		ListenFunc: fn.ListenFunc(nil), // nil inner funcs mean TCP
+//		DialFunc:   fn.Dialer(nil),
 //	}
-//	srv, _ := netd.StartConfig(dom, "127.0.0.1:0", netd.Config{Transport: tr})
+//	srv, _ := netd.Start(dom, "127.0.0.1:0", netd.WithTransport(tr))
 //	...
 //	fn.Partition()      // peer falls silent: reads stall, writes vanish
 //	fn.Heal()           // stalled readers wake; traffic resumes
@@ -191,6 +195,23 @@ func (n *Net) Listen(network, addr string) (net.Listener, error) {
 		return nil, err
 	}
 	return n.Listener(ln), nil
+}
+
+// ListenFunc wraps listen (nil means net.Listen("tcp", ·)) so every
+// connection accepted through it is under this Net's control — the
+// listener-side counterpart of Dialer, for composing a transport's own
+// Listen into a netd.FuncTransport.
+func (n *Net) ListenFunc(listen func(addr string) (net.Listener, error)) func(addr string) (net.Listener, error) {
+	if listen == nil {
+		listen = func(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }
+	}
+	return func(addr string) (net.Listener, error) {
+		ln, err := listen(addr)
+		if err != nil {
+			return nil, err
+		}
+		return n.Listener(ln), nil
+	}
 }
 
 // Dialer wraps dial (nil means net.Dial("tcp", ·)) so every dialled

@@ -40,10 +40,10 @@ func fastCfg() netd.Config {
 func newFaultMachine(t *testing.T, name string, fn *faultnet.Net, cfg netd.Config) *machine {
 	t.Helper()
 	if fn != nil {
-		cfg.Transport = netd.Transport{Dial: fn.Dialer(nil)}
+		cfg.Transport = netd.FuncTransport{DialFunc: fn.Dialer(nil)}
 	}
 	k := kernel.New(name)
-	netSrv, err := netd.StartConfig(k.NewDomain(name+"-netd"), "127.0.0.1:0", cfg)
+	netSrv, err := netd.Start(k.NewDomain(name+"-netd"), "127.0.0.1:0", netd.With(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,8 +255,8 @@ func TestCachingServesReadsThroughPartition(t *testing.T) {
 	// Machine B with fault-controlled dials and the full cache plumbing.
 	k := kernel.New("B")
 	cfg := fastCfg()
-	cfg.Transport = netd.Transport{Dial: fn.Dialer(nil)}
-	netSrv, err := netd.StartConfig(k.NewDomain("B-netd"), "127.0.0.1:0", cfg)
+	cfg.Transport = netd.FuncTransport{DialFunc: fn.Dialer(nil)}
+	netSrv, err := netd.Start(k.NewDomain("B-netd"), "127.0.0.1:0", netd.With(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -82,6 +82,14 @@ type conn struct {
 	nextID atomic.Uint64
 	shards [pendShards]pendShard
 
+	// owner is this connection's region-grant token: every bulk region
+	// granted for a frame sent on this connection is keyed under it, so
+	// connClosed can reclaim exactly the in-flight grants a dead
+	// connection strands. caps is the capability set negotiated at hello
+	// (local ∩ peer ∩ same machine); zero until the handshake completes.
+	owner uint64
+	caps  atomic.Uint32
+
 	mu        sync.Mutex
 	helloDone bool
 	sess      *session // peer lease session; guarded by Server.mu
@@ -95,6 +103,7 @@ func (s *Server) newConn(netc net.Conn) *conn {
 		sendq:   make(chan sendReq, sendQueueLen),
 		helloed: make(chan struct{}),
 		done:    make(chan struct{}),
+		owner:   nextOwner.Add(1),
 	}
 	for i := range c.shards {
 		c.shards[i].m = make(map[uint64]chan *buffer.Buffer)
@@ -112,6 +121,9 @@ func (s *Server) newConn(netc net.Conn) *conn {
 
 // isDead reports whether the connection has failed.
 func (c *conn) isDead() bool { return c.dead.Load() }
+
+// bulk reports whether the connection negotiated the bulk-region tier.
+func (c *conn) bulk() bool { return Capability(c.caps.Load())&CapBulkRegions != 0 }
 
 // hasSession reports whether the session handshake completed.
 func (c *conn) hasSession() bool {
@@ -153,8 +165,11 @@ func (c *conn) unregister(id uint64) bool {
 	return ok
 }
 
-// deliver completes a pending request.
-func (c *conn) deliver(id uint64, reply *buffer.Buffer) {
+// deliver completes a pending request. It reports whether a waiter took
+// the reply; an undeliverable reply (its caller timed out or cancelled)
+// is the receive loop's to clean up — it may carry a bulk region grant
+// that must not be left stranded in the ring.
+func (c *conn) deliver(id uint64, reply *buffer.Buffer) bool {
 	sh := c.shard(id)
 	sh.mu.Lock()
 	ch, ok := sh.m[id]
@@ -165,6 +180,7 @@ func (c *conn) deliver(id uint64, reply *buffer.Buffer) {
 	if ok {
 		ch <- reply
 	}
+	return ok
 }
 
 // send transfers ownership of payload to the connection's writer. It

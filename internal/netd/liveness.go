@@ -40,6 +40,16 @@ var (
 	gFramesCoalesced = scstats.GaugeFor("netd.frames_coalesced")
 )
 
+// Bulk-region gauges (E18): hand-offs granted and mapped on the
+// same-machine tier, regions currently in flight, and regions reclaimed
+// by connection teardown (a kill mid-hand-off shows up here).
+var (
+	gBulkGranted     = scstats.GaugeFor("netd.bulk_granted")
+	gBulkMapped      = scstats.GaugeFor("netd.bulk_mapped")
+	gBulkRegionsLive = scstats.GaugeFor("netd.bulk_regions_live")
+	gBulkReclaimed   = scstats.GaugeFor("netd.bulk_reclaimed")
+)
+
 // session is one remote peer's lease on this exporter: every reference
 // handed to the peer is recorded here, and reclaimed in one sweep if the
 // peer stays gone past the lease grace period. Sessions are keyed by the
@@ -47,9 +57,9 @@ var (
 // (same process, new TCP connection) keeps its references, while a peer
 // that restarts presents a new instance and the old session ages out.
 type session struct {
-	peer      uint64 // remote instance identity (from its hello)
-	epoch     uint64 // remote's connection epoch at the latest hello
-	addr      string // remote's advertised listen address ("" if none)
+	peer      uint64         // remote instance identity (from its hello)
+	epoch     uint64         // remote's connection epoch at the latest hello
+	addr      string         // remote's advertised listen address ("" if none)
 	refs      map[uint64]int // export key → references held by this peer
 	conns     map[*conn]struct{}
 	downSince time.Time // zero while at least one connection is live
@@ -118,11 +128,11 @@ func (s *Server) peerLocked(addr string) *peerState {
 func (s *Server) breakerFailLocked(p *peerState) {
 	p.probing = false
 	if p.backoff == 0 {
-		p.backoff = s.breakerMin
+		p.backoff = s.cfg.BreakerBackoff
 	} else {
 		p.backoff *= 2
-		if p.backoff > s.breakerMax {
-			p.backoff = s.breakerMax
+		if p.backoff > s.cfg.BreakerMaxBackoff {
+			p.backoff = s.cfg.BreakerMaxBackoff
 		}
 	}
 	p.openUntil = time.Now().Add(p.backoff)
@@ -173,13 +183,21 @@ func (s *Server) breakerAdmitLocked(p *peerState, now time.Time) bool {
 
 // handleHello binds a connection to its peer session on receipt of the
 // handshake frame. A reconnecting peer (same instance) rejoins its
-// existing session, clearing the lease-expiry clock.
-func (s *Server) handleHello(c *conn, instance, epoch uint64, listenAddr string) {
+// existing session, clearing the lease-expiry clock. The peer's
+// advertised capabilities are intersected with ours — and zeroed unless
+// the peer shares our machine identity, since every capability is a
+// same-machine tier — to fix the connection's negotiated tier set.
+func (s *Server) handleHello(c *conn, instance, epoch uint64, listenAddr string, peerCaps uint32, peerMachine uint64) {
+	negotiated := s.caps & Capability(peerCaps)
+	if peerMachine != machineID {
+		negotiated = 0
+	}
 	s.mu.Lock()
 	if s.closed || c.helloDone {
 		s.mu.Unlock()
 		return
 	}
+	c.caps.Store(uint32(negotiated))
 	sess, ok := s.sessions[instance]
 	if !ok {
 		sess = &session{
@@ -205,13 +223,16 @@ func (s *Server) handleHello(c *conn, instance, epoch uint64, listenAddr string)
 	close(c.helloed)
 }
 
-// sendHello sends this server's handshake frame on c.
+// sendHello sends this server's handshake frame on c, advertising the
+// transport's capability set and this process's machine identity.
 func (s *Server) sendHello(c *conn, epoch uint64) error {
-	payload := buffer.Get(32)
+	payload := buffer.Get(64)
 	payload.WriteByte(msgHello)
 	payload.WriteUint64(s.instance)
 	payload.WriteUint64(epoch)
 	payload.WriteString(s.addr)
+	payload.WriteUint32(uint32(s.caps))
+	payload.WriteUint64(machineID)
 	return c.send(payload)
 }
 
@@ -250,6 +271,16 @@ func (s *Server) connClosed(c *conn, addr string) {
 		}
 	}
 	s.mu.Unlock()
+	// Reclaim the bulk regions this connection granted but whose frames
+	// never completed the hand-off: the peer can no longer map them (a
+	// map racing this reclaim either wins the grant or fails the call in
+	// the retryable class), so releasing here is what keeps a kill
+	// mid-hand-off from leaking mapped regions.
+	if s.mapper != nil {
+		if n := s.mapper.Reclaim(c.owner); n > 0 {
+			gBulkReclaimed.Add(int64(n))
+		}
+	}
 	_ = c.netc.Close()
 }
 
@@ -261,7 +292,7 @@ func (s *Server) connClosed(c *conn, addr string) {
 // be presumed lost, and replays queued release messages.
 func (s *Server) sweeper() {
 	defer s.wg.Done()
-	tick := s.hbInterval / 2
+	tick := s.cfg.HeartbeatInterval / 2
 	if tick < time.Millisecond {
 		tick = time.Millisecond
 	}
@@ -292,12 +323,12 @@ func (s *Server) heartbeat(now time.Time) {
 	s.mu.Unlock()
 	for _, c := range conns {
 		silent := now.Sub(time.Unix(0, c.lastRecv.Load()))
-		if silent > s.leaseGrace {
-			c.fail(commErr("peer silent for %v (heartbeat grace %v)", silent.Round(time.Millisecond), s.leaseGrace))
+		if silent > s.cfg.LeaseGrace {
+			c.fail(commErr("peer silent for %v (heartbeat grace %v)", silent.Round(time.Millisecond), s.cfg.LeaseGrace))
 			continue
 		}
 		idle := now.Sub(time.Unix(0, c.lastSend.Load()))
-		if idle >= s.hbInterval && c.pinging.CompareAndSwap(false, true) {
+		if idle >= s.cfg.HeartbeatInterval && c.pinging.CompareAndSwap(false, true) {
 			// Off the sweeper goroutine: enqueueing can block behind a
 			// stalled socket write, and the sweeper must keep serving
 			// the other connections' liveness clocks.
@@ -320,7 +351,7 @@ func (s *Server) heartbeat(now time.Time) {
 func (s *Server) expireLeases(now time.Time) {
 	s.mu.Lock()
 	for instance, sess := range s.sessions {
-		if len(sess.conns) != 0 || sess.downSince.IsZero() || now.Sub(sess.downSince) <= s.leaseGrace {
+		if len(sess.conns) != 0 || sess.downSince.IsZero() || now.Sub(sess.downSince) <= s.cfg.LeaseGrace {
 			continue
 		}
 		delete(s.sessions, instance)
@@ -359,7 +390,7 @@ func (s *Server) dropSessionRefsLocked(key uint64, sess *session) {
 func (s *Server) expireImports(now time.Time) {
 	s.mu.Lock()
 	for _, p := range s.peers {
-		if p.lapsed || p.downSince.IsZero() || now.Sub(p.downSince) <= s.leaseGrace {
+		if p.lapsed || p.downSince.IsZero() || now.Sub(p.downSince) <= s.cfg.LeaseGrace {
 			continue
 		}
 		p.lapsed = true

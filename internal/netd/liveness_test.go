@@ -29,7 +29,7 @@ func quickCfg() Config {
 func newMachineCfg(t *testing.T, name string, cfg Config, libs ...func(*core.Registry) error) *machine {
 	t.Helper()
 	k := kernel.New(name)
-	srv, err := StartConfig(k.NewDomain(name+"-netd"), "127.0.0.1:0", cfg)
+	srv, err := Start(k.NewDomain(name+"-netd"), "127.0.0.1:0", With(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestPartitionPoisonsImportsAndReclaimsExports(t *testing.T) {
 	fn := faultnet.New()
 	a := newMachineCfg(t, "A", quickCfg())
 	cfgB := quickCfg()
-	cfgB.Transport = Transport{Dial: fn.Dialer(nil)}
+	cfgB.Transport = FuncTransport{DialFunc: fn.Dialer(nil)}
 	b := newMachineCfg(t, "B", cfgB)
 	_, obj, unref := exportCounter(t, a, "counter")
 
@@ -221,7 +221,7 @@ func TestBreakerFailsFastAndRecovers(t *testing.T) {
 	cfgB := long
 	cfgB.BreakerBackoff = 500 * time.Millisecond // hold open for the fast-fail probe
 	cfgB.BreakerMaxBackoff = 500 * time.Millisecond
-	cfgB.Transport = Transport{Dial: fn.Dialer(nil)}
+	cfgB.Transport = FuncTransport{DialFunc: fn.Dialer(nil)}
 	b := newMachineCfg(t, "B", cfgB)
 	ctr, _, _ := exportCounter(t, a, "counter")
 
@@ -274,7 +274,7 @@ func TestDeadPooledConnPrunedAndRedialled(t *testing.T) {
 	fn := faultnet.New()
 	a := newMachineCfg(t, "A", quickCfg())
 	cfgB := quickCfg()
-	cfgB.Transport = Transport{Dial: fn.Dialer(nil)}
+	cfgB.Transport = FuncTransport{DialFunc: fn.Dialer(nil)}
 	b := newMachineCfg(t, "B", cfgB)
 	ctr, _, _ := exportCounter(t, a, "counter")
 
@@ -315,7 +315,7 @@ func TestReleaseQueuedWhileDownThenReplayed(t *testing.T) {
 	long.LeaseGrace = time.Minute // reclaim/poisoning must NOT be the cleanup path here
 	a := newMachineCfg(t, "A", long)
 	cfgB := long
-	cfgB.Transport = Transport{Dial: fn.Dialer(nil)}
+	cfgB.Transport = FuncTransport{DialFunc: fn.Dialer(nil)}
 	b := newMachineCfg(t, "B", cfgB)
 	_, obj, unref := exportCounter(t, a, "counter")
 
@@ -351,7 +351,7 @@ func TestTruncatedFrameFailsCallThenRecovers(t *testing.T) {
 	fn := faultnet.New()
 	a := newMachineCfg(t, "A", quickCfg())
 	cfgB := quickCfg()
-	cfgB.Transport = Transport{Dial: fn.Dialer(nil)}
+	cfgB.Transport = FuncTransport{DialFunc: fn.Dialer(nil)}
 	b := newMachineCfg(t, "B", cfgB)
 	ctr, _, _ := exportCounter(t, a, "counter")
 
@@ -426,7 +426,7 @@ func TestRefusedDialIsRetryableAndBounded(t *testing.T) {
 	// A dead address must cost one bounded dial attempt, not a hang.
 	fn := faultnet.New()
 	cfg := quickCfg()
-	cfg.Transport = Transport{Dial: fn.Dialer(nil)}
+	cfg.Transport = FuncTransport{DialFunc: fn.Dialer(nil)}
 	b := newMachineCfg(t, "B", cfg)
 	fn.RefuseDials(true)
 	start := time.Now()
@@ -450,7 +450,7 @@ func TestHungDialBoundedByDialTimeout(t *testing.T) {
 	cfg.DialTimeout = 100 * time.Millisecond
 	cfg.BreakerBackoff = 500 * time.Millisecond
 	cfg.BreakerMaxBackoff = 500 * time.Millisecond
-	cfg.Transport = Transport{Dial: fn.Dialer(nil)}
+	cfg.Transport = FuncTransport{DialFunc: fn.Dialer(nil)}
 	b := newMachineCfg(t, "B", cfg)
 	fn.SetDialDelay(5 * time.Second)
 	start := time.Now()

@@ -99,15 +99,9 @@ func (e *exportEntry) total() int {
 	return n
 }
 
-// Transport abstracts the listener and dialer so tests can interpose
-// fault injection (internal/faultnet). Nil fields default to TCP.
-type Transport struct {
-	Listen func(addr string) (net.Listener, error)
-	Dial   func(addr string) (net.Conn, error)
-}
-
-// Config carries the liveness and containment tunables. Zero fields take
-// the documented defaults. cmd/springfsd and cmd/fsh expose these as
+// Config carries the transport, liveness and containment tunables. Zero
+// fields take the documented defaults; defaulting happens in one place
+// (withDefaults, at Start). cmd/springfsd and cmd/fsh expose these as
 // flags.
 type Config struct {
 	// CallTimeout bounds the reply wait of one forwarded call (further
@@ -128,11 +122,21 @@ type Config struct {
 	// Defaults 100ms and 15s.
 	BreakerBackoff    time.Duration
 	BreakerMaxBackoff time.Duration
-	// Transport supplies the listener and dialer (fault injection).
+	// BulkThreshold is the payload size, in bytes, at or above which a
+	// connection that negotiated CapBulkRegions hands the payload over as
+	// a shared region instead of copying it through the frame stream.
+	// Default 8KiB (below it the grant bookkeeping costs more than the
+	// copy it saves).
+	BulkThreshold int
+	// Transport supplies the listener, dialer and capability set
+	// (transport tiers, fault injection). Nil defaults to TCPTransport.
 	Transport Transport
 }
 
-func (cfg *Config) fillDefaults() {
+// withDefaults is the single defaulting path: every zero field takes its
+// documented default, and the result is the exact configuration the
+// server runs with (Server keeps the normalized copy).
+func (cfg Config) withDefaults() Config {
 	if cfg.CallTimeout == 0 {
 		cfg.CallTimeout = 10 * time.Second
 	}
@@ -151,33 +155,43 @@ func (cfg *Config) fillDefaults() {
 	if cfg.BreakerMaxBackoff == 0 {
 		cfg.BreakerMaxBackoff = 15 * time.Second
 	}
-	if cfg.Transport.Listen == nil {
-		cfg.Transport.Listen = func(addr string) (net.Listener, error) {
-			return net.Listen("tcp", addr)
-		}
+	if cfg.BulkThreshold == 0 {
+		cfg.BulkThreshold = 8 << 10
 	}
-	if cfg.Transport.Dial == nil {
-		cfg.Transport.Dial = tcpDial
+	if cfg.Transport == nil {
+		cfg.Transport = TCPTransport{}
 	}
+	return cfg
 }
+
+// Option adjusts the configuration a Server starts with.
+type Option func(*Config)
+
+// With overlays an explicit Config: its non-zero fields replace the
+// accumulated configuration wholesale (it is the bridge from
+// flag-structured code — build a Config, pass With(cfg)).
+func With(cfg Config) Option { return func(c *Config) { *c = cfg } }
+
+// WithTransport selects the transport tier.
+func WithTransport(t Transport) Option { return func(c *Config) { c.Transport = t } }
+
+// WithBulkThreshold sets the bulk hand-off threshold in bytes.
+func WithBulkThreshold(n int) Option { return func(c *Config) { c.BulkThreshold = n } }
 
 // Server is one machine's network door server.
 type Server struct {
-	dom      *kernel.Domain
-	ln       net.Listener
-	addr     string
-	dial     dialer
-	instance uint64 // random per-process identity, sent in hellos
+	dom       *kernel.Domain
+	ln        net.Listener
+	addr      string
+	transport Transport
+	mapper    RegionMapper // the transport's bulk tier, nil if none
+	caps      Capability   // advertised in hellos (mapper-gated)
+	instance  uint64       // random per-process identity, sent in hellos
 
-	Timeout     time.Duration // per forwarded call; default 10s
-	DialTimeout time.Duration // per connection attempt; default 3s
-
-	// Liveness tunables, fixed at StartConfig (the sweeper reads them
-	// concurrently, so they are not settable afterwards).
-	hbInterval time.Duration
-	leaseGrace time.Duration
-	breakerMin time.Duration
-	breakerMax time.Duration
+	// cfg is the normalized configuration, fixed at Start (the sweeper
+	// and forwarders read it concurrently, so it is not settable
+	// afterwards).
+	cfg Config
 
 	mu        sync.Mutex
 	exports   map[uint64]*exportEntry
@@ -210,43 +224,46 @@ type dialFlight struct {
 	err  error
 }
 
-// Start launches a network door server for dom's kernel with default
-// configuration, listening on listenAddr ("127.0.0.1:0" picks a free
-// port). dom should be a dedicated domain for the network server.
-func Start(dom *kernel.Domain, listenAddr string) (*Server, error) {
-	return StartConfig(dom, listenAddr, Config{})
-}
-
-// StartConfig launches a network door server with explicit liveness and
-// transport configuration.
-func StartConfig(dom *kernel.Domain, listenAddr string, cfg Config) (*Server, error) {
-	cfg.fillDefaults()
+// Start launches a network door server for dom's kernel, listening on
+// listenAddr ("127.0.0.1:0" picks a free TCP port; address syntax beyond
+// that belongs to the configured transport — SameMachine accepts
+// "unix:/path"). dom should be a dedicated domain for the network
+// server. Options adjust the configuration; zero fields take the
+// documented defaults in one place.
+func Start(dom *kernel.Domain, listenAddr string, opts ...Option) (*Server, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg = cfg.withDefaults()
 	ln, err := cfg.Transport.Listen(listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("netd: listen: %w", err)
 	}
+	mapper := mapperOf(cfg.Transport)
+	caps := cfg.Transport.Capabilities()
+	if mapper == nil {
+		caps &^= CapBulkRegions // advertised only when actually mappable
+	}
 	s := &Server{
-		dom:         dom,
-		ln:          ln,
-		addr:        ln.Addr().String(),
-		dial:        cfg.Transport.Dial,
-		instance:    rand.Uint64(),
-		Timeout:     cfg.CallTimeout,
-		DialTimeout: cfg.DialTimeout,
-		hbInterval:  cfg.HeartbeatInterval,
-		leaseGrace:  cfg.LeaseGrace,
-		breakerMin:  cfg.BreakerBackoff,
-		breakerMax:  cfg.BreakerMaxBackoff,
-		exports:     make(map[uint64]*exportEntry),
-		byDoor:      make(map[uint64]uint64),
-		nextKey:     1,
-		roots:       make(map[string]*core.Object),
-		conns:       make(map[string]*conn),
-		allConns:    make(map[*conn]struct{}),
-		dialing:     make(map[string]*dialFlight),
-		sessions:    make(map[uint64]*session),
-		peers:       make(map[string]*peerState),
-		stop:        make(chan struct{}),
+		dom:       dom,
+		ln:        ln,
+		addr:      canonicalAddr(ln),
+		transport: cfg.Transport,
+		mapper:    mapper,
+		caps:      caps,
+		instance:  rand.Uint64(),
+		cfg:       cfg,
+		exports:   make(map[uint64]*exportEntry),
+		byDoor:    make(map[uint64]uint64),
+		nextKey:   1,
+		roots:     make(map[string]*core.Object),
+		conns:     make(map[string]*conn),
+		allConns:  make(map[*conn]struct{}),
+		dialing:   make(map[string]*dialFlight),
+		sessions:  make(map[uint64]*session),
+		peers:     make(map[string]*peerState),
+		stop:      make(chan struct{}),
 	}
 	s.wg.Add(2)
 	go s.acceptLoop()
@@ -523,7 +540,7 @@ func (s *Server) Exports() int {
 // invocation context governs the whole leg: an already-ended context
 // aborts before anything is sent, the wire header ships the remaining
 // budget so the server machine inherits it, and the reply wait is bounded
-// by min(s.Timeout, remaining budget) and by the cancellation channel.
+// by min(s.cfg.CallTimeout, remaining budget) and by the cancellation channel.
 func (s *Server) forward(desc descriptor, p *peerState, epoch uint64, req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
 	begin := stats.Begin()
 	// The send span opens before forwardInfo writes the wire header, so
@@ -547,13 +564,17 @@ func (s *Server) forwardInfo(desc descriptor, p *peerState, epoch uint64, req *b
 	if err != nil {
 		return nil, err
 	}
-	payload := buffer.Get(64 + req.Size())
+	hint := 64 + req.Size()
+	if s.bulkEligible(c, req) {
+		hint = 128 // the payload travels as a region, not in the frame
+	}
+	payload := buffer.Get(hint)
 	payload.WriteByte(msgCall)
 	reqID, ch := c.register()
 	payload.WriteUint64(reqID)
 	payload.WriteUint64(desc.Key)
 	putInfoHeader(payload, info)
-	if err := s.putWireBuffer(payload, req, c); err != nil {
+	if err := s.putWireBuffer(payload, req, c, false); err != nil {
 		if c.unregister(reqID) {
 			putReplyChan(ch)
 		}
@@ -566,7 +587,7 @@ func (s *Server) forwardInfo(desc descriptor, p *peerState, epoch uint64, req *b
 		}
 		return nil, commErr("send to %s: %v", desc.Addr, err)
 	}
-	wait := s.Timeout
+	wait := s.cfg.CallTimeout
 	deadlineBounded := false
 	if rem, ok := info.Remaining(); ok && rem < wait {
 		wait = rem
@@ -599,7 +620,7 @@ func (s *Server) forwardInfo(desc descriptor, p *peerState, epoch uint64, req *b
 		if deadlineBounded {
 			return nil, fmt.Errorf("netd: call to %s: %w", desc.Addr, kernel.ErrDeadlineExceeded)
 		}
-		return nil, commErr("call to %s timed out after %v", desc.Addr, s.Timeout)
+		return nil, commErr("call to %s timed out after %v", desc.Addr, s.cfg.CallTimeout)
 	}
 }
 
@@ -750,7 +771,7 @@ func (s *Server) dialAndHello(addr string) (*conn, error) {
 		return c, nil
 	case <-c.done:
 		return nil, commErr("connection to %s lost during handshake", addr)
-	case <-time.After(s.DialTimeout):
+	case <-time.After(s.cfg.DialTimeout):
 		c.fail(commErr("hello from %s timed out", addr))
 		return nil, commErr("hello from %s timed out", addr)
 	}
@@ -765,19 +786,19 @@ func (s *Server) timedDial(addr string) (net.Conn, error) {
 	}
 	ch := make(chan result, 1)
 	go func() {
-		c, err := s.dial(addr)
+		c, err := s.transport.Dial(addr)
 		ch <- result{c, err}
 	}()
 	select {
 	case r := <-ch:
 		return r.c, r.err
-	case <-time.After(s.DialTimeout):
+	case <-time.After(s.cfg.DialTimeout):
 		go func() { // reap the eventual result
 			if r := <-ch; r.c != nil {
 				_ = r.c.Close()
 			}
 		}()
-		return nil, fmt.Errorf("timeout after %v", s.DialTimeout)
+		return nil, fmt.Errorf("timeout after %v", s.cfg.DialTimeout)
 	}
 }
 
@@ -840,10 +861,12 @@ loop:
 			instance, err1 := in.ReadUint64()
 			epoch, err2 := in.ReadUint64()
 			listenAddr, err3 := in.ReadString()
-			if err1 != nil || err2 != nil || err3 != nil {
+			peerCaps, err4 := in.ReadUint32()
+			peerMachine, err5 := in.ReadUint64()
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
 				break loop
 			}
-			s.handleHello(c, instance, epoch, listenAddr)
+			s.handleHello(c, instance, epoch, listenAddr, peerCaps, peerMachine)
 		case msgPing:
 			pong := buffer.Get(1)
 			pong.WriteByte(msgPong)
@@ -855,7 +878,14 @@ loop:
 			if err != nil {
 				continue
 			}
-			c.deliver(reqID, in)
+			if !c.deliver(reqID, in) {
+				// The caller abandoned the reply (timeout, cancel); if it
+				// carried a bulk region, release it rather than stranding
+				// it in the ring until the connection dies.
+				if code, err := in.ReadByte(); err == nil && code == codeOK {
+					s.dropWireRegion(in)
+				}
+			}
 		case msgCall:
 			if !c.hasSession() {
 				break loop
@@ -921,6 +951,7 @@ func (s *Server) handleCall(c *conn, reqID, key uint64, req *buffer.Buffer, info
 	s.mu.Unlock()
 	if !ok {
 		kernel.ReleaseBufferDoors(req)
+		buffer.Put(req)
 		s.reply(c, reqID, codeBadKey, nil, "")
 		return
 	}
@@ -944,12 +975,22 @@ func (s *Server) handleCall(c *conn, reqID, key uint64, req *buffer.Buffer, info
 	default:
 		s.reply(c, reqID, codeError, nil, err.Error())
 	}
+	// Both served buffers are dead: the dispatch is over (a skeleton that
+	// kept argument bytes copied them — see stubs.Skeleton) and reply()
+	// has copied, granted or detached out's payload. Recycling them is
+	// what closes the bulk tier's loop — resetting a region-backed req
+	// releases its mapped grant, returning pooled storage to the sender's
+	// ring side. Leftover door references are released first, as an
+	// abandoning client would.
+	kernel.ReleaseBufferDoors(req)
+	buffer.Put(req)
+	buffer.Put(out)
 }
 
 // reply sends a reply frame for reqID.
 func (s *Server) reply(c *conn, reqID uint64, code byte, out *buffer.Buffer, errMsg string) {
 	size := 64
-	if out != nil {
+	if out != nil && !s.bulkEligible(c, out) {
 		size += out.Size()
 	}
 	payload := buffer.Get(size)
@@ -958,7 +999,7 @@ func (s *Server) reply(c *conn, reqID uint64, code byte, out *buffer.Buffer, err
 	payload.WriteByte(code)
 	switch code {
 	case codeOK:
-		if err := s.putWireBuffer(payload, out, c); err != nil {
+		if err := s.putWireBuffer(payload, out, c, true); err != nil {
 			// Re-encode as an error reply; the doors are already gone.
 			payload.Reset()
 			payload.WriteByte(msgReply)
@@ -1000,7 +1041,7 @@ func (s *Server) handleRoot(c *conn, reqID uint64, name string) {
 		return
 	}
 	s.reply(c, reqID, codeOK, tmp, "")
-	buffer.Put(tmp) // putWireBuffer copied the bytes and took the doors
+	buffer.Put(tmp) // reply() copied, granted or detached the payload and took the doors
 }
 
 // ImportRootObject fetches the named root object from the server at addr
@@ -1021,7 +1062,7 @@ func (s *Server) ImportRootObject(env *core.Env, addr, name string, expected *co
 		}
 		return nil, commErr("send to %s: %v", addr, err)
 	}
-	timer := getTimer(s.Timeout)
+	timer := getTimer(s.cfg.CallTimeout)
 	select {
 	case reply, ok := <-ch:
 		putTimer(timer)

@@ -297,8 +297,7 @@ func TestConcurrentCrossMachineCalls(t *testing.T) {
 
 func TestCallTimeout(t *testing.T) {
 	a := newMachine(t, "A")
-	b := newMachine(t, "B")
-	b.srv.Timeout = 100 * time.Millisecond
+	b := newMachineCfg(t, "B", Config{CallTimeout: 100 * time.Millisecond})
 
 	// A server that hangs until released.
 	gate := make(chan struct{})

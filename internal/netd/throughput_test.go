@@ -54,7 +54,7 @@ func TestPipelinedCallsSurviveMidBatchKill(t *testing.T) {
 	// reply delivered to the wrong caller.
 	fn := faultnet.New()
 	cfgB := quickCfg()
-	cfgB.Transport = Transport{Dial: fn.Dialer(nil)}
+	cfgB.Transport = FuncTransport{DialFunc: fn.Dialer(nil)}
 	a := newMachineCfg(t, "A", quickCfg())
 	b := newMachineCfg(t, "B", cfgB)
 
@@ -136,7 +136,7 @@ func TestColdDialSingleflight(t *testing.T) {
 	fn := faultnet.New()
 	var dials atomic.Int32
 	cfgB := quickCfg()
-	cfgB.Transport = Transport{Dial: fn.Dialer(func(addr string) (net.Conn, error) {
+	cfgB.Transport = FuncTransport{DialFunc: fn.Dialer(func(addr string) (net.Conn, error) {
 		dials.Add(1)
 		return net.Dial("tcp", addr)
 	})}
@@ -242,11 +242,11 @@ func (d *discardConn) Read(p []byte) (int, error) {
 	<-d.ch
 	return 0, net.ErrClosed
 }
-func (d *discardConn) Write(p []byte) (int, error)  { return len(p), nil }
-func (d *discardConn) Close() error                 { d.once.Do(func() { close(d.ch) }); return nil }
-func (d *discardConn) LocalAddr() net.Addr          { return &net.TCPAddr{} }
-func (d *discardConn) RemoteAddr() net.Addr         { return &net.TCPAddr{} }
-func (d *discardConn) SetDeadline(time.Time) error  { return nil }
+func (d *discardConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (d *discardConn) Close() error                     { d.once.Do(func() { close(d.ch) }); return nil }
+func (d *discardConn) LocalAddr() net.Addr              { return &net.TCPAddr{} }
+func (d *discardConn) RemoteAddr() net.Addr             { return &net.TCPAddr{} }
+func (d *discardConn) SetDeadline(time.Time) error      { return nil }
 func (d *discardConn) SetReadDeadline(time.Time) error  { return nil }
 func (d *discardConn) SetWriteDeadline(time.Time) error { return nil }
 

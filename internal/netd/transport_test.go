@@ -1,0 +1,285 @@
+package netd
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/faultnet"
+	"repro/internal/kernel"
+	"repro/internal/sctest"
+	"repro/internal/stubs"
+	"repro/internal/subcontracts/singleton"
+)
+
+// Tests for the transport tier redesign: per-address capability
+// negotiation at hello, the same-machine unix+region tier, graceful
+// fallback to TCP against a peer lacking a tier, and region reclamation
+// when a transport is torn down mid-hand-off.
+
+// newSameMachine starts a machine whose server listens on a unix domain
+// socket and advertises the bulk-region tier. extra overlays fields on
+// the transport config (Transport is always SameMachine).
+func newSameMachine(t *testing.T, name string, extra Config) *machine {
+	t.Helper()
+	extra.Transport = SameMachine()
+	k := kernel.New(name)
+	srv, err := Start(k.NewDomain(name+"-netd"), "unix:"+t.TempDir()+"/nd.sock", With(extra))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	env, err := sctest.NewEnv(k, name+"-app", singleton.Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &machine{k: k, srv: srv, env: env}
+}
+
+// bigPayload is comfortably above the default BulkThreshold, with
+// content that would expose any aliasing or cross-delivery corruption.
+func bigPayload(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i * 7)
+	}
+	return p
+}
+
+func TestSameMachineNegotiatesBulkHandoff(t *testing.T) {
+	granted0, mapped0 := gBulkGranted.Value(), gBulkMapped.Value()
+	live0 := sharedRing.live()
+
+	a := newSameMachine(t, "A", Config{})
+	b := newSameMachine(t, "B", Config{})
+	if !strings.HasPrefix(a.srv.Addr(), "unix:") {
+		t.Fatalf("unix listener advertises %q, want a unix: address", a.srv.Addr())
+	}
+
+	obj, _ := singleton.Export(a.env, stressEchoMT, echoSkel(), nil)
+	a.srv.PublishRoot("echo", obj)
+	remote, err := b.srv.ImportRootObject(b.env, a.srv.Addr(), "echo", stressEchoMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A small call stays inline: the bulk tier must not tax it.
+	if err := echoBytes(remote, []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	if d := gBulkGranted.Value() - granted0; d != 0 {
+		t.Fatalf("small call granted %d bulk regions, want 0", d)
+	}
+
+	// A large call rides regions both ways: request and reply each cross
+	// as one grant, mapped exactly once, leaving nothing in the ring.
+	if err := echoBytes(remote, bigPayload(64<<10)); err != nil {
+		t.Fatal(err)
+	}
+	granted, mapped := gBulkGranted.Value()-granted0, gBulkMapped.Value()-mapped0
+	if granted != 2 || mapped != granted {
+		t.Fatalf("64KiB echo: granted=%d mapped=%d, want granted=2 and mapped=granted", granted, mapped)
+	}
+	if live := sharedRing.live(); live != live0 {
+		t.Fatalf("ring holds %d grants after delivered calls, want %d", live, live0)
+	}
+}
+
+func TestMixedCapabilityPeersFallbackToTCP(t *testing.T) {
+	granted0 := gBulkGranted.Value()
+
+	// A advertises the bulk tier on a TCP address; B is plain TCP. The
+	// hello intersection must come up empty and every payload — however
+	// large — ride the frame stream.
+	k := kernel.New("A")
+	srv, err := Start(k.NewDomain("A-netd"), "127.0.0.1:0", WithTransport(SameMachine()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	envA, err := sctest.NewEnv(k, "A-app", singleton.Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &machine{k: k, srv: srv, env: envA}
+	b := newMachine(t, "B")
+
+	obj, _ := singleton.Export(a.env, stressEchoMT, echoSkel(), nil)
+	a.srv.PublishRoot("echo", obj)
+	remote, err := b.srv.ImportRootObject(b.env, a.srv.Addr(), "echo", stressEchoMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := echoBytes(remote, bigPayload(64<<10)); err != nil {
+		t.Fatalf("large call against a TCP-only peer: %v", err)
+	}
+	if d := gBulkGranted.Value() - granted0; d != 0 {
+		t.Fatalf("mixed-capability pair granted %d regions, want 0 (TCP fallback)", d)
+	}
+}
+
+func TestTransportTeardownMidCallSurfacesCommFailure(t *testing.T) {
+	a := newSameMachine(t, "A", Config{})
+	b := newSameMachine(t, "B", Config{})
+
+	// A server that hangs until the transport under the call is gone.
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	t.Cleanup(func() { close(gate) })
+	hang := stubs.SkeletonFunc(func(op core.OpNum, args, results *buffer.Buffer) error {
+		close(entered)
+		<-gate
+		return nil
+	})
+	obj, _ := singleton.Export(a.env, stressEchoMT, hang, nil)
+	a.srv.PublishRoot("hang", obj)
+	remote, err := b.srv.ImportRootObject(b.env, a.srv.Addr(), "hang", stressEchoMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		errc <- stubs.Call(remote, 0, nil, nil)
+	}()
+	<-entered
+	a.srv.Close() // tear the whole transport down under the in-flight call
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, kernel.ErrCommFailure) {
+			t.Fatalf("call across torn-down transport = %v, want kernel.ErrCommFailure", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("call hung after transport teardown")
+	}
+}
+
+func TestFaultnetKillDuringBulkHandoffReclaimsRegion(t *testing.T) {
+	reclaimed0 := gBulkReclaimed.Value()
+	live0 := sharedRing.live()
+
+	// B dials through faultnet over the same-machine tier: the wrapped
+	// funcs carry the faults, Inner keeps the capability set and mapper.
+	fn := faultnet.New()
+	sm := SameMachine()
+	a := newSameMachine(t, "A", Config{})
+	cfgB := Config{
+		Transport:         FuncTransport{DialFunc: fn.Dialer(sm.Dial), Inner: sm},
+		HeartbeatInterval: time.Minute, // no ping may steal the one-shot truncation
+	}
+	k := kernel.New("B")
+	srv, err := Start(k.NewDomain("B-netd"), "unix:"+t.TempDir()+"/nd.sock", With(cfgB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	envB, err := sctest.NewEnv(k, "B-app", singleton.Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &machine{k: k, srv: srv, env: envB}
+
+	obj, _ := singleton.Export(a.env, stressEchoMT, echoSkel(), nil)
+	a.srv.PublishRoot("echo", obj)
+	remote, err := b.srv.ImportRootObject(b.env, a.srv.Addr(), "echo", stressEchoMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := echoBytes(remote, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the connection in the middle of a bulk hand-off: the request's
+	// region is granted to the ring, then the carrying frame is truncated
+	// on the wire and the connection hard-closed. The peer never maps the
+	// grant; connection teardown must reclaim it.
+	fn.TruncateNextWrite()
+	err = echoBytes(remote, bigPayload(64<<10))
+	if !errors.Is(err, kernel.ErrCommFailure) {
+		t.Fatalf("call over killed hand-off = %v, want kernel.ErrCommFailure", err)
+	}
+	waitFor(t, 5*time.Second, "stranded region reclaimed", func() bool {
+		return gBulkReclaimed.Value() > reclaimed0 && sharedRing.live() == live0
+	})
+
+	// The tier must still work after the redial.
+	if err := echoBytes(remote, bigPayload(64<<10)); err != nil {
+		t.Fatalf("bulk call after recovery: %v", err)
+	}
+}
+
+func TestAbandonedBulkReplyReclaimed(t *testing.T) {
+	mapped0 := gBulkMapped.Value()
+	live0 := sharedRing.live()
+
+	a := newSameMachine(t, "A", Config{})
+	b := newSameMachine(t, "B", Config{CallTimeout: 150 * time.Millisecond})
+
+	// The server stalls until the caller has given up, then returns a
+	// bulk-sized reply. No waiter remains to map the region: the receive
+	// loop must redeem and release the orphan grant itself.
+	gate := make(chan struct{})
+	big := bigPayload(64 << 10)
+	slow := stubs.SkeletonFunc(func(op core.OpNum, args, results *buffer.Buffer) error {
+		<-gate
+		results.WriteBytes(big)
+		return nil
+	})
+	obj, _ := singleton.Export(a.env, stressEchoMT, slow, nil)
+	a.srv.PublishRoot("slow", obj)
+	remote, err := b.srv.ImportRootObject(b.env, a.srv.Addr(), "slow", stressEchoMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := stubs.Call(remote, 0, nil, nil); !errors.Is(err, kernel.ErrCommFailure) {
+		t.Fatalf("stalled call = %v, want kernel.ErrCommFailure (timeout)", err)
+	}
+	close(gate) // now the abandoned bulk reply goes out
+
+	waitFor(t, 5*time.Second, "orphan reply region released", func() bool {
+		return gBulkMapped.Value() > mapped0 && sharedRing.live() == live0
+	})
+}
+
+func TestBulkWireBufferRoundTrip(t *testing.T) {
+	// The wirebuf bulk form, without a network: a payload at the
+	// threshold crosses via a grant the receiver maps and reads in place;
+	// one byte under stays inline.
+	k := kernel.New("m")
+	srv, err := Start(k.NewDomain("netd"), "unix:"+t.TempDir()+"/nd.sock", WithTransport(SameMachine()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := srv.newConn(newDiscardConn())
+	defer c.fail(errConnDead) // before srv.Close, whose wg includes c's writer
+	c.caps.Store(uint32(CapBulkRegions))
+
+	for _, n := range []int{srv.cfg.BulkThreshold - 1, srv.cfg.BulkThreshold, 64 << 10} {
+		payload := bigPayload(n)
+		src := buffer.New(n)
+		src.WriteRaw(payload)
+		frame := buffer.New(64)
+		if err := srv.putWireBuffer(frame, src, c, false); err != nil {
+			t.Fatal(err)
+		}
+		wantBulk := n >= srv.cfg.BulkThreshold
+		in := buffer.FromParts(frame.Bytes(), nil)
+		got, err := srv.getWireBuffer(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), payload) {
+			t.Fatalf("payload of %d bytes corrupted across the wirebuf", n)
+		}
+		if isBulk := len(frame.Bytes()) < n; isBulk != wantBulk {
+			t.Fatalf("payload of %d bytes: bulk=%v, want %v", n, isBulk, wantBulk)
+		}
+	}
+}

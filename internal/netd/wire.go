@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"net"
 	"time"
 
 	"repro/internal/buffer"
@@ -14,7 +13,7 @@ import (
 // Wire protocol. Every message is a length-prefixed frame:
 //
 //	frame:   [len u32] [payload]
-//	hello:   [msgHello u8]   [instance u64] [epoch u64] [listenAddr string]
+//	hello:   [msgHello u8]   [instance u64] [epoch u64] [listenAddr string] [caps u32] [machine u64]
 //	call:    [msgCall u8]    [reqID u64] [key u64] [ctx] [wirebuf]
 //	reply:   [msgReply u8]   [reqID u64] [code u8] [wirebuf | errstring]
 //	release: [msgRelease u8] [key u64] [count uvarint]
@@ -28,9 +27,14 @@ import (
 // (instance, epoch) names one peer session; the receiving exporter tags
 // every reference it hands this peer with the session, so that when the
 // peer dies or partitions past the lease grace period the references can
-// be reclaimed (see the package comment's failure semantics). ping/pong
-// are the heartbeat: a side that has sent nothing for a heartbeat
-// interval pings, and any received frame counts as proof of peer life.
+// be reclaimed (see the package comment's failure semantics). caps and
+// machine negotiate the transport tiers: a connection uses the
+// intersection of the two advertised capability sets, and only between
+// peers sharing a machine identity (the capabilities are same-machine
+// tiers; a TCP-only or remote peer degrades gracefully to the plain
+// frame stream). ping/pong are the heartbeat: a side that has sent
+// nothing for a heartbeat interval pings, and any received frame counts
+// as proof of peer life.
 //
 // ctx is the invocation-context header: one flags byte, then the
 // remaining deadline budget and the trace identity, each present only
@@ -50,6 +54,16 @@ import (
 // the door descriptors, in the FIFO order the doors were written:
 //
 //	wirebuf: [nbytes u32] [bytes] [ndoors uvarint] ndoors × [addr string][key u64]
+//	bulk:    [bulkSentinel u32] [regionID u64] [ndoors uvarint] ...
+//
+// On a connection that negotiated CapBulkRegions, a payload of at least
+// Config.BulkThreshold bytes does not ride the frame: it is granted to
+// the transport's region ring under the connection's owner token, and
+// the frame carries the region identifier behind the nbytes sentinel.
+// The receiver maps the identifier (a one-shot redemption) and reads the
+// payload in place through a region-backed buffer — the bytes cross the
+// machine exactly once, at grant. Regions stranded by a connection death
+// or an undeliverable reply are reclaimed by the teardown path.
 //
 // Door identifiers are mapped to this extended network form on export and
 // back to (proxy) kernel doors on import, exactly the role of the Spring
@@ -146,6 +160,11 @@ func getInfoHeader(in *buffer.Buffer) (*kernel.Info, error) {
 // maxFrame bounds a frame's size as a defence against corrupt peers.
 const maxFrame = 64 << 20
 
+// bulkSentinel marks a wirebuf whose payload travels as a region grant
+// rather than inline bytes. Inline payloads are bounded by maxFrame, far
+// below it, so the values cannot collide.
+const bulkSentinel = ^uint32(0)
+
 // descriptor is a door identifier's extended network form.
 type descriptor struct {
 	Addr string
@@ -180,14 +199,54 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
+// bulkEligible reports whether buf's payload would be handed over as a
+// region on c rather than copied into the frame.
+func (s *Server) bulkEligible(c *conn, buf *buffer.Buffer) bool {
+	return s.mapper != nil && c != nil && buf != nil &&
+		buf.Size() >= s.cfg.BulkThreshold && c.bulk()
+}
+
 // putWireBuffer flattens buf into out, converting its door references to
 // descriptors through the exporting server. The door references are
 // consumed (transferred to the wire); each exported reference is tagged
 // with the session of the connection it ships over, so it can be
 // reclaimed if that peer's lease expires.
-func (s *Server) putWireBuffer(out *buffer.Buffer, buf *buffer.Buffer, c *conn) error {
-	out.WriteUint32(uint32(len(buf.Bytes())))
-	out.WriteRaw(buf.Bytes())
+//
+// On a bulk-negotiated connection a large payload is granted as a region
+// instead of riding the frame, and owned picks the hand-over discipline.
+// owned declares that buf's storage belongs outright to this server — a
+// reply about to be discarded — so the storage is detached into the grant
+// with no copy, and the receiver's release recycles it. A caller-owned
+// payload (a forwarded request: a retrying subcontract may resend the
+// same marshalled arguments, so the buffer must survive intact) is
+// granted as a read-only alias — safe because the receiver reads the
+// region strictly before the reply is sent, and the stub layer does not
+// recycle an argument buffer whose call errored. A region-backed payload
+// (a preamble pool's, which may recycle the bytes the moment the call
+// returns) is staged through a pooled copy the receiver then owns.
+func (s *Server) putWireBuffer(out *buffer.Buffer, buf *buffer.Buffer, c *conn, owned bool) error {
+	if s.bulkEligible(c, buf) {
+		var region *buffer.Region
+		switch {
+		case owned:
+			if data, ok := buf.Detach(); ok {
+				region = buffer.NewRegion(data, func() { buffer.Recycle(data) })
+			}
+		case !buf.Regioned():
+			region = buffer.NewRegion(buf.Bytes(), nil)
+		}
+		if region == nil {
+			data := buffer.GetStorage(buf.Size())
+			copy(data, buf.Bytes())
+			region = buffer.NewRegion(data, func() { buffer.Recycle(data) })
+		}
+		id := s.mapper.GrantRegion(c.owner, region)
+		out.WriteUint32(bulkSentinel)
+		out.WriteUint64(id)
+	} else {
+		out.WriteUint32(uint32(len(buf.Bytes())))
+		out.WriteRaw(buf.Bytes())
+	}
 	doors := buf.TakeDoors()
 	out.WriteUvarint(uint64(len(doors)))
 	for _, slot := range doors {
@@ -208,12 +267,32 @@ func (s *Server) getWireBuffer(in *buffer.Buffer) (*buffer.Buffer, error) {
 	if err != nil {
 		return nil, err
 	}
-	// The returned buffer aliases the frame's bytes rather than copying
-	// them: the frame was allocated by readFrame for this message alone,
-	// and it stays reachable exactly as long as the buffer does.
-	bytes, err := in.ReadRaw(int(n))
-	if err != nil {
-		return nil, err
+	var bytes []byte
+	var region *buffer.Region
+	if n == bulkSentinel {
+		id, err := in.ReadUint64()
+		if err != nil {
+			return nil, err
+		}
+		if s.mapper == nil {
+			return nil, commErr("bulk region %d from a peer but no region tier configured", id)
+		}
+		region, err = s.mapper.MapRegion(id)
+		if err != nil {
+			// The grant was reclaimed out from under us — the granting
+			// connection died mid-hand-off. Transport-level, retryable.
+			return nil, commErr("map bulk region %d: %v", id, err)
+		}
+		bytes = region.Data
+	} else {
+		// The returned buffer aliases the frame's bytes rather than
+		// copying them: the frame was allocated by readFrame for this
+		// message alone, and it stays reachable exactly as long as the
+		// buffer does.
+		bytes, err = in.ReadRaw(int(n))
+		if err != nil {
+			return nil, err
+		}
 	}
 	nd, err := in.ReadUvarint()
 	if err != nil {
@@ -235,10 +314,28 @@ func (s *Server) getWireBuffer(in *buffer.Buffer) (*buffer.Buffer, error) {
 		}
 		doors = append(doors, ref)
 	}
+	if region != nil {
+		return buffer.FromRegion(region, doors), nil
+	}
 	return buffer.FromParts(bytes, doors), nil
 }
 
-// dialer abstracts net.Dial for tests.
-type dialer func(addr string) (net.Conn, error)
-
-func tcpDial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+// dropWireRegion releases the bulk region an undeliverable wirebuf
+// carries, if any. in must be positioned at the wirebuf; inline payloads
+// and malformed remains are left alone (the frame is garbage either
+// way). Without this, a caller abandoning its reply (timeout,
+// cancellation) would strand the reply's region in the ring until the
+// whole connection died.
+func (s *Server) dropWireRegion(in *buffer.Buffer) {
+	n, err := in.ReadUint32()
+	if err != nil || n != bulkSentinel || s.mapper == nil {
+		return
+	}
+	id, err := in.ReadUint64()
+	if err != nil {
+		return
+	}
+	if reg, err := s.mapper.MapRegion(id); err == nil {
+		reg.Release()
+	}
+}

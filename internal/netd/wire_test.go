@@ -97,7 +97,7 @@ func TestWireBufferRoundTrip(t *testing.T) {
 	c := &conn{sess: sess, helloDone: true}
 
 	wire := buffer.New(128)
-	if err := srv.putWireBuffer(wire, in, c); err != nil {
+	if err := srv.putWireBuffer(wire, in, c, false); err != nil {
 		t.Fatal(err)
 	}
 	out, err := srv.getWireBuffer(wire)
@@ -138,12 +138,12 @@ func TestPeerDropsConnectionMidCall(t *testing.T) {
 	}()
 
 	k := kernel.New("m")
-	srv, err := Start(k.NewDomain("netd"), "127.0.0.1:0")
+	// A long call timeout: the drop, not the timeout, must end the call.
+	srv, err := Start(k.NewDomain("netd"), "127.0.0.1:0", With(Config{CallTimeout: 30 * time.Second}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	srv.Timeout = 30 * time.Second // the drop, not the timeout, must end the call
 
 	ref, err := srv.importDesc(descriptor{Addr: ln.Addr().String(), Key: 1})
 	if err != nil {

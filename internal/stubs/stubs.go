@@ -116,7 +116,19 @@ func Call(obj *core.Object, op core.OpNum, marshalArgs, unmarshalResults Marshal
 	if err != nil {
 		return err
 	}
-	return DecodeReply(reply, unmarshalResults)
+	err = DecodeReply(reply, unmarshalResults)
+	// The round trip completed, so every stage is done with the argument
+	// bytes: a local skeleton has returned (retained arguments must be
+	// copied — see Skeleton), and a network grant has been read before the
+	// reply was sent. Recycle the buffer unless a preamble owns it (its
+	// Release hook recycles into the subcontract's own pool). An errored
+	// invoke skips this: a timed-out or cancelled call may still be in
+	// flight, and the buffer must stay intact behind it.
+	if call.Release == nil {
+		kernel.ReleaseBufferDoors(args)
+		buffer.Put(args)
+	}
+	return err
 }
 
 // DecodeReply consumes a reply buffer's status and either unmarshals the
@@ -186,6 +198,10 @@ func CallOneway(obj *core.Object, op core.OpNum, marshalArgs MarshalFunc, opts .
 		return err
 	}
 	kernel.ReleaseBufferDoors(reply)
+	if call.Release == nil {
+		kernel.ReleaseBufferDoors(args)
+		buffer.Put(args)
+	}
 	return nil
 }
 
@@ -194,6 +210,14 @@ func CallOneway(obj *core.Object, op core.OpNum, marshalArgs MarshalFunc, opts .
 // application, and marshals results into results. Returning an error turns
 // the call into a remote exception; in that case the skeleton must not
 // have written to results.
+//
+// The argument buffer's storage is recycled once the call completes —
+// it may be pool-backed, region-backed, or a mapped bulk grant — so a
+// skeleton (or the server application behind it) that retains a byte
+// slice read from args beyond the dispatch must copy it first. Generated
+// skeletons already do (byte parameters are copied before they reach the
+// application); the same rule has always applied to calls under the shm
+// subcontract's recycled regions.
 type Skeleton interface {
 	Dispatch(op core.OpNum, args, results *buffer.Buffer) error
 }
@@ -258,17 +282,25 @@ func ServeCallInfo(skel Skeleton, req, reply *buffer.Buffer, info *kernel.Info) 
 		WriteException(reply, err.Error())
 		return nil
 	}
-	results := buffer.New(64)
+	// The skeleton marshals results directly into the reply, behind a
+	// speculative status byte — no intermediate results buffer, no splice
+	// copy. On a remote exception the section is rolled back: conforming
+	// skeletons wrote nothing, but a mid-marshal failure is truncated (and
+	// its door references released) all the same.
+	mark := reply.Mark()
+	reply.WriteByte(statusOK)
 	sp := trace.Begin(info, spanSkeleton)
 	var derr error
 	if is, ok := skel.(InfoSkeleton); ok {
-		derr = is.DispatchInfo(core.OpNum(op), req, results, info)
+		derr = is.DispatchInfo(core.OpNum(op), req, reply, info)
 	} else {
-		derr = skel.Dispatch(core.OpNum(op), req, results)
+		derr = skel.Dispatch(core.OpNum(op), req, reply)
 	}
 	sp.End(info, derr)
 	if err := derr; err != nil {
-		kernel.ReleaseBufferDoors(results)
+		if dropped := reply.Truncate(mark); len(dropped) != 0 {
+			kernel.ReleaseBufferDoors(buffer.FromParts(nil, dropped))
+		}
 		reply.WriteByte(statusError)
 		var re *RemoteError
 		if errors.As(err, &re) {
@@ -280,7 +312,5 @@ func ServeCallInfo(skel Skeleton, req, reply *buffer.Buffer, info *kernel.Info) 
 		}
 		return nil
 	}
-	reply.WriteByte(statusOK)
-	reply.Splice(results)
 	return nil
 }

@@ -7,7 +7,9 @@
 // be copied there after all marshalling is complete."
 //
 // Domains here share one address space, so a "shared memory region" is a
-// pooled buffer handed to the server without copying. The subcontract
+// pooled buffer (drawn from a buffer.RegionPool, the same segment
+// machinery behind netd's same-machine bulk tier) handed to the server
+// without copying. The subcontract
 // supports two modes so the optimization is measurable (experiment E9):
 //
 //   - Direct: invoke_preamble swaps the call's buffer for a pooled region;
@@ -19,7 +21,6 @@ package shm
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/buffer"
 	"repro/internal/core"
@@ -56,14 +57,12 @@ const regionSize = 64 << 10
 // in different modes but share the wire identity SCID.
 type SC struct {
 	mode Mode
-	pool sync.Pool
+	pool *buffer.RegionPool
 }
 
 // New creates a shared-buffer subcontract in the given mode.
 func New(mode Mode) *SC {
-	s := &SC{mode: mode}
-	s.pool.New = func() any { return buffer.New(regionSize) }
-	return s
+	return &SC{mode: mode, pool: buffer.NewRegionPool(regionSize)}
 }
 
 // Register installs s in a registry (the library entry point).
@@ -146,12 +145,9 @@ func (s *SC) InvokePreamble(obj *core.Object, call *core.Call) error {
 	if s.mode != Direct {
 		return nil
 	}
-	region := s.pool.Get().(*buffer.Buffer)
+	region := s.pool.Get()
 	call.SetArgs(region)
-	call.Release = func() {
-		region.Reset()
-		s.pool.Put(region)
-	}
+	call.Release = func() { s.pool.Put(region) }
 	return nil
 }
 
@@ -180,12 +176,9 @@ func (s *SC) invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	}
 	args := call.Args()
 	if s.mode == CopyAfter {
-		region := s.pool.Get().(*buffer.Buffer)
+		region := s.pool.Get()
 		region.Splice(args) // copies the byte stream, transfers the doors
-		defer func() {
-			region.Reset()
-			s.pool.Put(region)
-		}()
+		defer s.pool.Put(region)
 		return obj.Env.Domain.CallInfo(r.H, region, call.Info())
 	}
 	return obj.Env.Domain.CallInfo(r.H, args, call.Info())
