@@ -167,10 +167,38 @@ func (cfg Config) withDefaults() Config {
 // Option adjusts the configuration a Server starts with.
 type Option func(*Config)
 
-// With overlays an explicit Config: its non-zero fields replace the
-// accumulated configuration wholesale (it is the bridge from
+// With overlays an explicit Config: each non-zero field replaces the
+// accumulated value and zero fields leave it alone, so it composes with
+// the other options in either order (it is the bridge from
 // flag-structured code — build a Config, pass With(cfg)).
-func With(cfg Config) Option { return func(c *Config) { *c = cfg } }
+func With(cfg Config) Option {
+	return func(c *Config) {
+		if cfg.CallTimeout != 0 {
+			c.CallTimeout = cfg.CallTimeout
+		}
+		if cfg.DialTimeout != 0 {
+			c.DialTimeout = cfg.DialTimeout
+		}
+		if cfg.HeartbeatInterval != 0 {
+			c.HeartbeatInterval = cfg.HeartbeatInterval
+		}
+		if cfg.LeaseGrace != 0 {
+			c.LeaseGrace = cfg.LeaseGrace
+		}
+		if cfg.BreakerBackoff != 0 {
+			c.BreakerBackoff = cfg.BreakerBackoff
+		}
+		if cfg.BreakerMaxBackoff != 0 {
+			c.BreakerMaxBackoff = cfg.BreakerMaxBackoff
+		}
+		if cfg.BulkThreshold != 0 {
+			c.BulkThreshold = cfg.BulkThreshold
+		}
+		if cfg.Transport != nil {
+			c.Transport = cfg.Transport
+		}
+	}
+}
 
 // WithTransport selects the transport tier.
 func WithTransport(t Transport) Option { return func(c *Config) { c.Transport = t } }
@@ -553,6 +581,34 @@ func (s *Server) forward(desc descriptor, p *peerState, epoch uint64, req *buffe
 	return reply, err
 }
 
+// dropAbandonedReply disposes of a reply no waiter will read, releasing
+// the bulk region grant a codeOK payload may carry. in must be positioned
+// at the code byte.
+func (s *Server) dropAbandonedReply(in *buffer.Buffer) {
+	if code, err := in.ReadByte(); err == nil && code == codeOK {
+		s.dropWireRegion(in)
+	}
+}
+
+// abandonCall withdraws a pending request whose caller is giving up
+// (timeout, cancellation, send failure). Usually unregister wins and the
+// pooled channel can be recycled; when it loses the race, the entry was
+// removed by either a delivery — whose buffered send follows the removal
+// immediately, parking the reply in ch — or a connection failure, which
+// closed ch. Both resolve promptly, so the blocking receive is safe, and
+// a delivered reply must be drained here: left parked, its bulk region
+// grant would sit in the ring until the whole connection died.
+func (s *Server) abandonCall(c *conn, reqID uint64, ch chan *buffer.Buffer) {
+	if c.unregister(reqID) {
+		putReplyChan(ch)
+		return
+	}
+	if reply, ok := <-ch; ok {
+		s.dropAbandonedReply(reply)
+		putReplyChan(ch)
+	}
+}
+
 func (s *Server) forwardInfo(desc descriptor, p *peerState, epoch uint64, req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
 	if err := info.Err(); err != nil {
 		return nil, err
@@ -575,16 +631,12 @@ func (s *Server) forwardInfo(desc descriptor, p *peerState, epoch uint64, req *b
 	payload.WriteUint64(desc.Key)
 	putInfoHeader(payload, info)
 	if err := s.putWireBuffer(payload, req, c, false); err != nil {
-		if c.unregister(reqID) {
-			putReplyChan(ch)
-		}
+		s.abandonCall(c, reqID, ch)
 		buffer.Put(payload)
 		return nil, err
 	}
 	if err := c.send(payload); err != nil {
-		if c.unregister(reqID) {
-			putReplyChan(ch)
-		}
+		s.abandonCall(c, reqID, ch)
 		return nil, commErr("send to %s: %v", desc.Addr, err)
 	}
 	wait := s.cfg.CallTimeout
@@ -608,15 +660,11 @@ func (s *Server) forwardInfo(desc descriptor, p *peerState, epoch uint64, req *b
 		return s.parseReply(reply, desc)
 	case <-cancel:
 		putTimer(timer)
-		if c.unregister(reqID) {
-			putReplyChan(ch)
-		}
+		s.abandonCall(c, reqID, ch)
 		return nil, fmt.Errorf("netd: call to %s: %w", desc.Addr, kernel.ErrCancelled)
 	case <-timer.C:
 		putTimer(timer)
-		if c.unregister(reqID) {
-			putReplyChan(ch)
-		}
+		s.abandonCall(c, reqID, ch)
 		if deadlineBounded {
 			return nil, fmt.Errorf("netd: call to %s: %w", desc.Addr, kernel.ErrDeadlineExceeded)
 		}
@@ -882,9 +930,7 @@ loop:
 				// The caller abandoned the reply (timeout, cancel); if it
 				// carried a bulk region, release it rather than stranding
 				// it in the ring until the connection dies.
-				if code, err := in.ReadByte(); err == nil && code == codeOK {
-					s.dropWireRegion(in)
-				}
+				s.dropAbandonedReply(in)
 			}
 		case msgCall:
 			if !c.hasSession() {
@@ -1057,9 +1103,7 @@ func (s *Server) ImportRootObject(env *core.Env, addr, name string, expected *co
 	payload.WriteUint64(reqID)
 	payload.WriteString(name)
 	if err := c.send(payload); err != nil {
-		if c.unregister(reqID) {
-			putReplyChan(ch)
-		}
+		s.abandonCall(c, reqID, ch)
 		return nil, commErr("send to %s: %v", addr, err)
 	}
 	timer := getTimer(s.cfg.CallTimeout)
@@ -1077,9 +1121,7 @@ func (s *Server) ImportRootObject(env *core.Env, addr, name string, expected *co
 		return core.Unmarshal(env, expected, buf)
 	case <-timer.C:
 		putTimer(timer)
-		if c.unregister(reqID) {
-			putReplyChan(ch)
-		}
+		s.abandonCall(c, reqID, ch)
 		return nil, commErr("root fetch from %s timed out", addr)
 	}
 }

@@ -247,6 +247,127 @@ func TestAbandonedBulkReplyReclaimed(t *testing.T) {
 	})
 }
 
+func TestBulkRequestGrantDoesNotAliasCallerArgs(t *testing.T) {
+	// A forwarded request's arguments belong to the caller: a retrying
+	// subcontract resends the same marshalled buffer and recycles it once
+	// an attempt succeeds, possibly while an abandoned attempt's grant is
+	// still unmapped (or being read by a slow server). The grant must
+	// therefore carry its own copy — clobbering the caller's bytes after
+	// putWireBuffer, as pool reuse would, may not corrupt what the
+	// receiver maps.
+	k := kernel.New("m")
+	srv, err := Start(k.NewDomain("netd"), "unix:"+t.TempDir()+"/nd.sock", WithTransport(SameMachine()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := srv.newConn(newDiscardConn())
+	defer c.fail(errConnDead) // before srv.Close, whose wg includes c's writer
+	c.caps.Store(uint32(CapBulkRegions))
+
+	payload := bigPayload(64 << 10)
+	src := buffer.New(len(payload))
+	src.WriteRaw(payload)
+	frame := buffer.New(64)
+	if err := srv.putWireBuffer(frame, src, c, false); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range src.Bytes() {
+		src.Bytes()[i] = ^b // the pool hands the storage to another call
+	}
+	in := buffer.FromParts(frame.Bytes(), nil)
+	got, err := srv.getWireBuffer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), payload) {
+		t.Fatal("request grant aliased the caller's argument buffer")
+	}
+}
+
+func TestAbandonRacedByDeliveryDrainsParkedReply(t *testing.T) {
+	// The narrow race the read loop cannot see: deliver wins against the
+	// caller's timeout, parking the reply in the buffered channel, and
+	// unregister then returns false. abandonCall must drain the parked
+	// reply and release the bulk region it carries — otherwise the grant
+	// sits in the ring until the whole connection dies.
+	live0 := sharedRing.live()
+	k := kernel.New("m")
+	srv, err := Start(k.NewDomain("netd"), "unix:"+t.TempDir()+"/nd.sock", WithTransport(SameMachine()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := srv.newConn(newDiscardConn())
+	defer c.fail(errConnDead)
+	c.caps.Store(uint32(CapBulkRegions))
+
+	out := buffer.New(64 << 10)
+	out.WriteRaw(bigPayload(64 << 10))
+	frame := buffer.New(64)
+	frame.WriteByte(codeOK)
+	if err := srv.putWireBuffer(frame, out, c, false); err != nil {
+		t.Fatal(err)
+	}
+	if sharedRing.live() != live0+1 {
+		t.Fatalf("ring holds %d grants after the reply grant, want %d", sharedRing.live(), live0+1)
+	}
+	id, ch := c.register()
+	reply := buffer.FromParts(frame.Bytes(), nil)
+	if !c.deliver(id, reply) {
+		t.Fatal("delivery should win the race")
+	}
+	srv.abandonCall(c, id, ch) // the timed-out caller gives up
+	if sharedRing.live() != live0 {
+		t.Fatalf("ring holds %d grants after abandonment, want %d (parked reply drained)", sharedRing.live(), live0)
+	}
+}
+
+func TestBulkGrantReclaimedOnDoorExportError(t *testing.T) {
+	// If flattening fails after the payload was granted (a door the
+	// exporter refuses), the frame is never sent; the grant must be
+	// pulled back out of the ring rather than stranded until conn death.
+	live0 := sharedRing.live()
+	k := kernel.New("m")
+	srv, err := Start(k.NewDomain("netd"), "unix:"+t.TempDir()+"/nd.sock", WithTransport(SameMachine()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := srv.newConn(newDiscardConn())
+	defer c.fail(errConnDead)
+	c.caps.Store(uint32(CapBulkRegions))
+
+	src := buffer.FromParts(bigPayload(64<<10), []buffer.Door{"not a door"})
+	frame := buffer.New(64)
+	if err := srv.putWireBuffer(frame, src, c, false); err == nil {
+		t.Fatal("exporting a bogus door slot should fail")
+	}
+	if sharedRing.live() != live0 {
+		t.Fatalf("ring holds %d grants after a failed flatten, want %d", sharedRing.live(), live0)
+	}
+}
+
+func TestWithOverlaysNonZeroFields(t *testing.T) {
+	// With(cfg) is an overlay, not a wholesale replacement: it must
+	// compose with the other options in either order, replacing only the
+	// fields cfg sets.
+	sm := SameMachine()
+	var c Config
+	WithTransport(sm)(&c)
+	With(Config{CallTimeout: time.Minute})(&c)
+	if c.Transport != Transport(sm) {
+		t.Fatalf("With dropped the transport option: %v", c.Transport)
+	}
+	if c.CallTimeout != time.Minute {
+		t.Fatalf("CallTimeout = %v, want 1m", c.CallTimeout)
+	}
+	With(Config{BulkThreshold: 123})(&c)
+	if c.CallTimeout != time.Minute || c.BulkThreshold != 123 {
+		t.Fatalf("second overlay clobbered earlier fields: %+v", c)
+	}
+}
+
 func TestBulkWireBufferRoundTrip(t *testing.T) {
 	// The wirebuf bulk form, without a network: a payload at the
 	// threshold crosses via a grant the receiver maps and reads in place;

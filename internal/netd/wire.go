@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/buffer"
@@ -160,6 +161,36 @@ func getInfoHeader(in *buffer.Buffer) (*kernel.Info, error) {
 // maxFrame bounds a frame's size as a defence against corrupt peers.
 const maxFrame = 64 << 20
 
+// stagePool recycles the arrays that stage caller-owned payloads into
+// bulk grants (putWireBuffer's copy path). It is deliberately separate
+// from the buffer package's shared storage pool: the staging arrays are
+// payload-sized and demanded once per bulk call, and in the shared pool
+// they were drained by the frame-assembly re-arm paths faster than the
+// grant hooks returned them, costing a fresh zeroed allocation per call.
+// Entries keep their capacity; one too small for a request is dropped
+// (the workload's payload size moved up), and arrays beyond maxStageCap
+// go to the collector rather than pinning memory, mirroring buffer.Put.
+var stagePool sync.Pool
+
+const maxStageCap = 256 << 10
+
+func getStage(n int) []byte {
+	if v := stagePool.Get(); v != nil {
+		if s := *(v.(*[]byte)); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func putStage(p []byte) {
+	if cap(p) == 0 || cap(p) > maxStageCap {
+		return
+	}
+	p = p[:0]
+	stagePool.Put(&p)
+}
+
 // bulkSentinel marks a wirebuf whose payload travels as a region grant
 // rather than inline bytes. Inline payloads are bounded by maxFrame, far
 // below it, so the values cannot collide.
@@ -216,33 +247,34 @@ func (s *Server) bulkEligible(c *conn, buf *buffer.Buffer) bool {
 // instead of riding the frame, and owned picks the hand-over discipline.
 // owned declares that buf's storage belongs outright to this server — a
 // reply about to be discarded — so the storage is detached into the grant
-// with no copy, and the receiver's release recycles it. A caller-owned
-// payload (a forwarded request: a retrying subcontract may resend the
-// same marshalled arguments, so the buffer must survive intact) is
-// granted as a read-only alias — safe because the receiver reads the
-// region strictly before the reply is sent, and the stub layer does not
-// recycle an argument buffer whose call errored. A region-backed payload
-// (a preamble pool's, which may recycle the bytes the moment the call
-// returns) is staged through a pooled copy the receiver then owns.
+// with no copy, and the receiver's release recycles it. Every other
+// payload is staged through a pooled copy the receiver then owns: a
+// forwarded request's arguments belong to the caller, and a retrying
+// subcontract resends — and, once an attempt succeeds, recycles — the
+// same marshalled arguments while an abandoned attempt's grant may still
+// be in the ring or mapped by a slow server, so aliasing them would race
+// the server's read against the pool's reuse; a region-backed payload (a
+// preamble pool's) may likewise recycle its bytes the moment the call
+// returns.
 func (s *Server) putWireBuffer(out *buffer.Buffer, buf *buffer.Buffer, c *conn, owned bool) error {
+	var regionID uint64
+	granted := false
 	if s.bulkEligible(c, buf) {
 		var region *buffer.Region
-		switch {
-		case owned:
+		if owned {
 			if data, ok := buf.Detach(); ok {
 				region = buffer.NewRegion(data, func() { buffer.Recycle(data) })
 			}
-		case !buf.Regioned():
-			region = buffer.NewRegion(buf.Bytes(), nil)
 		}
 		if region == nil {
-			data := buffer.GetStorage(buf.Size())
+			data := getStage(buf.Size())
 			copy(data, buf.Bytes())
-			region = buffer.NewRegion(data, func() { buffer.Recycle(data) })
+			region = buffer.NewRegion(data, func() { putStage(data) })
 		}
-		id := s.mapper.GrantRegion(c.owner, region)
+		regionID = s.mapper.GrantRegion(c.owner, region)
+		granted = true
 		out.WriteUint32(bulkSentinel)
-		out.WriteUint64(id)
+		out.WriteUint64(regionID)
 	} else {
 		out.WriteUint32(uint32(len(buf.Bytes())))
 		out.WriteRaw(buf.Bytes())
@@ -252,6 +284,14 @@ func (s *Server) putWireBuffer(out *buffer.Buffer, buf *buffer.Buffer, c *conn, 
 	for _, slot := range doors {
 		desc, err := s.exportSlot(slot, c)
 		if err != nil {
+			// The frame will never be sent; pull the grant back out of the
+			// ring so the region (and its storage) is not stranded until
+			// the connection dies.
+			if granted {
+				if reg, e := s.mapper.MapRegion(regionID); e == nil {
+					reg.Release()
+				}
+			}
 			return err
 		}
 		out.WriteString(desc.Addr)
@@ -269,6 +309,14 @@ func (s *Server) getWireBuffer(in *buffer.Buffer) (*buffer.Buffer, error) {
 	}
 	var bytes []byte
 	var region *buffer.Region
+	// A region mapped here is consumed from the ring; if decoding fails
+	// past that point nothing else will ever release it, so every later
+	// error return goes through fail (Release is nil-safe, so inline
+	// payloads pass through untouched).
+	fail := func(err error) (*buffer.Buffer, error) {
+		region.Release()
+		return nil, err
+	}
 	if n == bulkSentinel {
 		id, err := in.ReadUint64()
 		if err != nil {
@@ -296,21 +344,21 @@ func (s *Server) getWireBuffer(in *buffer.Buffer) (*buffer.Buffer, error) {
 	}
 	nd, err := in.ReadUvarint()
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	doors := make([]buffer.Door, 0, nd)
 	for i := uint64(0); i < nd; i++ {
 		addr, err := in.ReadString()
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		key, err := in.ReadUint64()
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		ref, err := s.importDesc(descriptor{Addr: addr, Key: key})
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		doors = append(doors, ref)
 	}
