@@ -4,7 +4,7 @@
 # suite — the liveness/partition tests under deterministic fault
 # injection (internal/faultnet) — and a smoke pass over the E15/E16
 # benchmark suites so they cannot silently rot.
-.PHONY: all tier1 tier2 faults bench bench-quick bench-all gen obs
+.PHONY: all tier1 tier2 faults crash bench bench-quick bench-all gen obs
 
 all: tier1 tier2
 
@@ -12,7 +12,7 @@ tier1:
 	go build ./...
 	go test ./...
 
-tier2: faults bench-quick obs
+tier2: faults crash bench-quick obs
 	go vet ./...
 	go test -race ./...
 
@@ -22,6 +22,14 @@ tier2: faults bench-quick obs
 faults:
 	go test -race -run 'Lease|Partition|Breaker|Fault|Sever|Truncat|Kill|Refus|Hung|Dead|Replay|Heartbeat|Reclaim|Negotiat|Fallback|Handoff|Teardown' \
 		./internal/faultnet/ ./internal/netd/ ./internal/integration/
+
+# The E19 crash suite: SIGKILL the durable server mid-write-load and
+# restart it against the same WAL directories and netd state file —
+# same instance identity, no acked write lost, zero client-visible
+# errors — plus the WAL/snapshot corruption property tests.
+crash:
+	go test -race -run 'KillRestart|RestartRecovers|RestartRejoins|StateFile|CorruptState|FirstBoot|WAL|Snapshot|SaveFile' \
+		./internal/integration/ ./internal/netd/ ./internal/filesys/
 
 # The E15/E18 throughput sweeps (parallelism × payload, over loopback
 # TCP and over the same-machine transport tier) and the E16 local-path
@@ -40,10 +48,14 @@ bench:
 	go test -run NONE -bench 'E17' -benchmem . | tee /tmp/bench_e17.out
 	go run ./cmd/benchjson -experiment 'E17 distributed-tracing overhead (off / unsampled / sampled on the minimal call)' \
 		-o BENCH_trace.json < /tmp/bench_e17.out
+	go test -run NONE -bench 'E19' -benchmem -benchtime 2s . | tee /tmp/bench_wal.out
+	go run ./cmd/benchjson -experiment 'E19 durable writes: WAL group-commit batch-size sweep vs in-memory baseline' \
+		-note 'fsync latency is the unit here and varies with the host disk; compare batch caps within a run' \
+		-o BENCH_wal.json < /tmp/bench_wal.out
 
 # One-iteration smoke: the benchmarks still compile and run.
 bench-quick:
-	go test -run NONE -bench 'E15|E16|E17|E18' -benchtime 1x .
+	go test -run NONE -bench 'E15|E16|E17|E18|E19' -benchtime 1x .
 
 bench-all:
 	go test -bench=. -benchmem

@@ -134,6 +134,18 @@ func BenchmarkE17_Traced_Unsampled_P64(b *testing.B) { bench.E17TracedCall("unsa
 func BenchmarkE17_Traced_Sampled_P1(b *testing.B)    { bench.E17TracedCall("sampled", 1)(b) }
 func BenchmarkE17_Traced_Sampled_P64(b *testing.B)   { bench.E17TracedCall("sampled", 64)(b) }
 
+// E19 — durable write throughput through the WAL group committer:
+// parallelism ∈ {1, 64} writers × fsync batch cap ∈ {1, 8, 64, 256},
+// plus the in-memory (no WAL) baseline. `make bench` records this
+// sweep in BENCH_wal.json.
+func BenchmarkE19_InMemoryWrite_P1(b *testing.B)       { bench.E19DurableWrite(1, 0)(b) }
+func BenchmarkE19_InMemoryWrite_P64(b *testing.B)      { bench.E19DurableWrite(64, 0)(b) }
+func BenchmarkE19_DurableWrite_P1_B256(b *testing.B)   { bench.E19DurableWrite(1, 256)(b) }
+func BenchmarkE19_DurableWrite_P64_B1(b *testing.B)    { bench.E19DurableWrite(64, 1)(b) }
+func BenchmarkE19_DurableWrite_P64_B8(b *testing.B)    { bench.E19DurableWrite(64, 8)(b) }
+func BenchmarkE19_DurableWrite_P64_B64(b *testing.B)   { bench.E19DurableWrite(64, 64)(b) }
+func BenchmarkE19_DurableWrite_P64_B256(b *testing.B)  { bench.E19DurableWrite(64, 256)(b) }
+
 // E10 — §6.1/§6.2: compatible-subcontract discovery, cold vs warm.
 func BenchmarkE10_Discovery_Cold(b *testing.B) { bench.E10DiscoveryCold(b) }
 func BenchmarkE10_Discovery_Warm(b *testing.B) { bench.E10DiscoveryWarm(b) }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/naming"
 	"repro/internal/netd"
 	"repro/internal/subcontracts/caching"
+	"repro/internal/subcontracts/reconnectable"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -45,6 +46,11 @@ var (
 
 	cacheBudget = flag.Int64("cache-budget", 0,
 		"per-entry reply-cache byte budget for the cache manager (0 = default, negative = unbounded)")
+
+	reconnectAttempts = flag.Int("reconnect-attempts", 0,
+		"ride out server restarts: retry reconnectable calls up to this many times (0 = subcontract default)")
+	reconnectBackoff = flag.Duration("reconnect-backoff", 0,
+		"pause between reconnect attempts (0 = subcontract default)")
 
 	telemetryAddr = flag.String("telemetry", "",
 		"serve /metrics, /traces, /healthz and pprof on this address (e.g. :6061; empty = off)")
@@ -126,6 +132,25 @@ func main() {
 		log.Fatal(err)
 	}
 	cli.Set(caching.LocalContextVar, ctxObj)
+
+	// Reconnectable files re-resolve themselves through the server's
+	// naming context after a restart; import it and set the retry policy
+	// so a durable (-wal) springfsd can be killed under a running fsh.
+	srvCtx, err := net.ImportRootObject(cli, *server, "naming", naming.ContextMT)
+	if err != nil {
+		log.Fatalf("connecting to %s: %v", *server, err)
+	}
+	cli.Set(reconnectable.ContextVar, srvCtx)
+	if *reconnectAttempts != 0 || *reconnectBackoff != 0 {
+		pol := reconnectable.DefaultPolicy
+		if *reconnectAttempts != 0 {
+			pol.MaxAttempts = *reconnectAttempts
+		}
+		if *reconnectBackoff != 0 {
+			pol.Backoff = *reconnectBackoff
+		}
+		cli.Set(reconnectable.PolicyVar, &pol)
+	}
 
 	fsObj, err := net.ImportRootObject(cli, *server, "fs", filesys.FileSystemMT)
 	if err != nil {

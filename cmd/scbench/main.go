@@ -193,6 +193,14 @@ func main() {
 	fmt.Printf("  => the bulk-region hand-off moves a same-machine 64KiB call %.1fx faster than loopback TCP\n",
 		nsPerOp(tcp64)/nsPerOp(shm64))
 
+	section("E19 durable writes through the WAL group committer (1KiB, fsync before ack)")
+	mem := run("in-memory store, 64 writers", bench.E19DurableWrite(64, 0))
+	run("durable, 1 writer", bench.E19DurableWrite(1, 256))
+	b1 := run("durable, 64 writers, batch cap 1", bench.E19DurableWrite(64, 1))
+	b256 := run("durable, 64 writers, batch cap 256", bench.E19DurableWrite(64, 256))
+	fmt.Printf("  => group commit recovers %.1fx over one-fsync-per-write; durability costs %.1fx vs memory\n",
+		nsPerOp(b1)/nsPerOp(b256), nsPerOp(b256)/nsPerOp(mem))
+
 	if *stats {
 		fmt.Println("\nper-subcontract metrics (scstats)")
 		fmt.Print(scstats.Text())

@@ -2,11 +2,19 @@
 // servers: the daemon half of the cmd/fsh pair.
 //
 //	springfsd -addr 127.0.0.1:7040 -flavor caching
+//	springfsd -addr 127.0.0.1:7040 -flavor reconnectable -wal /var/lib/springfsd
 //
 // The daemon publishes two bootstrap roots: "fs" (the file_system object)
 // and "naming" (the machine's naming context). With -flavor caching, file
 // objects use the caching subcontract and remote clients transparently
 // read through their own machine-local cache managers.
+//
+// With -wal DIR the daemon is durable (E19): every mutation is
+// group-committed to a write-ahead log in DIR before it is acknowledged,
+// snapshots compact the log, and the network server persists its
+// session/lease table to DIR/netd.state — so a killed daemon restarted
+// against the same directory rejoins under its old instance identity and
+// clients riding the reconnectable subcontract recover transparently.
 package main
 
 import (
@@ -15,9 +23,11 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"repro/internal/buffer"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/filesys"
@@ -32,8 +42,13 @@ import (
 
 var (
 	addr     = flag.String("addr", "127.0.0.1:7040", "listen address")
-	flavor   = flag.String("flavor", "plain", "file subcontract flavor: plain | caching")
+	flavor   = flag.String("flavor", "plain", "file subcontract flavor: plain | caching | reconnectable")
 	snapshot = flag.String("snapshot", "", "stable-storage file: loaded at start, saved on shutdown")
+	walDir   = flag.String("wal", "",
+		"durability directory: write-ahead log + snapshot + netd state; mutations are fsynced before acknowledgment and a restart recovers transparently")
+	walLinger = flag.Duration("wal-linger", 0,
+		"group-commit linger window: how long the committer waits for concurrent mutations to join a batch (0 = default 200µs, negative = no linger)")
+	walBatch = flag.Int("wal-batch", 0, "max records fsynced per group-commit batch (0 = default 256)")
 	dumpSC   = flag.Bool("scstats", false, "dump per-subcontract metrics on shutdown and on SIGUSR1")
 
 	callTimeout = flag.Duration("call-timeout", 10*time.Second, "reply wait per forwarded call")
@@ -59,6 +74,9 @@ func main() {
 	flag.Parse()
 	log.SetPrefix("springfsd: ")
 	log.SetFlags(0)
+	if *walDir != "" && *snapshot != "" {
+		log.Fatal("-wal and -snapshot are mutually exclusive (the WAL directory keeps its own snapshot)")
+	}
 
 	trace.SetSampling(*traceSample)
 	if *telemetryAddr != "" {
@@ -71,21 +89,6 @@ func main() {
 	}
 
 	k := kernel.New("springfsd")
-	cfg := netd.Config{
-		CallTimeout:       *callTimeout,
-		DialTimeout:       *dialTimeout,
-		HeartbeatInterval: *hbInterval,
-		LeaseGrace:        *leaseGrace,
-		BulkThreshold:     *bulkThreshold,
-	}
-	if *sameMachine {
-		cfg.Transport = netd.SameMachine()
-	}
-	net, err := netd.Start(k.NewDomain("netd"), *addr, netd.With(cfg))
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	newEnv := func(name string) *core.Env {
 		e := core.NewEnv(k.NewDomain(name))
 		if err := filesys.RegisterAll(e.Registry); err != nil {
@@ -109,25 +112,80 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The store, recovered from the WAL directory when one is given.
+	store := filesys.NewStore()
+	var wal *filesys.WAL
+	if *walDir != "" {
+		wal, err = filesys.OpenWAL(*walDir, store, filesys.WALOptions{
+			Linger: *walLinger, MaxBatch: *walBatch,
+		})
+		if err != nil {
+			log.Fatalf("opening wal: %v", err)
+		}
+	}
+
 	srvEnv := newEnv("fileserver")
 	var svc *filesys.Service
 	switch *flavor {
 	case "plain":
-		svc = filesys.NewService(srvEnv)
+		svc = filesys.NewServiceWithStore(srvEnv, store)
 	case "caching":
-		svc = filesys.NewCachingService(srvEnv, "cachemgr")
+		svc = filesys.NewCachingServiceWithStore(srvEnv, store, "cachemgr")
+	case "reconnectable":
+		ctxCp, err := ns.Object().Copy()
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf := buffer.New(64)
+		if err := ctxCp.Marshal(buf); err != nil {
+			log.Fatal(err)
+		}
+		srvCtx, err := core.Unmarshal(srvEnv, naming.ContextMT, buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs := filesys.NewReconnectableServiceWithStore(srvEnv, naming.Context{Obj: srvCtx}, store)
+		if err := rs.Restart(); err != nil {
+			log.Fatalf("rebinding recovered files: %v", err)
+		}
+		svc = rs.Service
 	default:
-		log.Fatalf("unknown flavor %q (want plain or caching)", *flavor)
+		log.Fatalf("unknown flavor %q (want plain, caching or reconnectable)", *flavor)
 	}
 
 	if *snapshot != "" {
-		if err := svc.Store().LoadFile(*snapshot); err != nil {
+		if err := store.LoadFile(*snapshot); err != nil {
 			log.Fatalf("loading snapshot: %v", err)
 		}
 	}
 
-	net.PublishRoot("fs", svc.Object())
-	net.PublishRoot("naming", ns.Object())
+	// Services exist before the network server starts: a durable netd
+	// rebinds its persisted export labels against these roots inside
+	// Start, before it accepts the first reconnecting peer.
+	roots := map[string]*core.Object{"fs": svc.Object(), "naming": ns.Object()}
+	cfg := netd.Config{
+		CallTimeout:       *callTimeout,
+		DialTimeout:       *dialTimeout,
+		HeartbeatInterval: *hbInterval,
+		LeaseGrace:        *leaseGrace,
+		BulkThreshold:     *bulkThreshold,
+	}
+	if *sameMachine {
+		cfg.Transport = netd.SameMachine()
+	}
+	opts := []netd.Option{netd.With(cfg)}
+	if *walDir != "" {
+		opts = append(opts,
+			netd.WithStateFile(filepath.Join(*walDir, "netd.state")),
+			netd.WithRebinder(netd.RootRebinder(roots)))
+	}
+	net, err := netd.Start(k.NewDomain("netd"), *addr, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for name, obj := range roots {
+		net.PublishRoot(name, obj)
+	}
 	fmt.Printf("springfsd: serving %s file system on %s (roots: fs, naming)\n", *flavor, net.Addr())
 	_ = caching.SCID // document the dependency; the flavor selects it at Export time
 
@@ -147,12 +205,26 @@ func main() {
 	if *dumpSC {
 		fmt.Print(scstats.Text())
 	}
+	// Shutdown failures are reported, not fatal mid-sequence: a snapshot
+	// that cannot be written leaves the previous one in place (SaveFile
+	// is atomic) and the daemon still closes the log and the network
+	// server cleanly — it just exits nonzero so supervisors notice.
+	exitCode := 0
 	if *snapshot != "" {
 		if err := svc.Store().SaveFile(*snapshot); err != nil {
-			log.Fatalf("saving snapshot: %v", err)
+			log.Printf("saving snapshot to %s failed (previous snapshot kept): %v", *snapshot, err)
+			exitCode = 1
+		}
+	}
+	if wal != nil {
+		if err := wal.Close(); err != nil {
+			log.Printf("closing wal: %v", err)
+			exitCode = 1
 		}
 	}
 	if err := net.Close(); err != nil {
-		log.Fatal(err)
+		log.Printf("closing network server: %v", err)
+		exitCode = 1
 	}
+	os.Exit(exitCode)
 }

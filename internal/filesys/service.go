@@ -49,11 +49,15 @@ func newService(env *core.Env, store *Store, export exporter) *Service {
 // NewService creates a plain file server in env: file objects use the
 // simplex subcontract (one kernel door per file object, §7).
 func NewService(env *core.Env) *Service {
-	var s *Service
-	s = newService(env, NewStore(), func(st *fileState) (*core.Object, error) {
+	return NewServiceWithStore(env, NewStore())
+}
+
+// NewServiceWithStore is NewService over an externally owned store — the
+// hook for stable storage (a store recovered through OpenWAL).
+func NewServiceWithStore(env *core.Env, store *Store) *Service {
+	return newService(env, store, func(st *fileState) (*core.Object, error) {
 		return simplex.Export(env, FileMT, NewFileSkeleton(env, fileImpl{st: st}), nil), nil
 	})
-	return s
 }
 
 // NewCachingService creates a file server whose files are
@@ -61,7 +65,13 @@ func NewService(env *core.Env) *Service {
 // other machines invoke through their machine-local cache manager, named
 // manager in their local naming context.
 func NewCachingService(env *core.Env, manager string) *Service {
-	return newService(env, NewStore(), func(st *fileState) (*core.Object, error) {
+	return NewCachingServiceWithStore(env, NewStore(), manager)
+}
+
+// NewCachingServiceWithStore is NewCachingService over an externally
+// owned (typically WAL-recovered) store.
+func NewCachingServiceWithStore(env *core.Env, store *Store, manager string) *Service {
+	return newService(env, store, func(st *fileState) (*core.Object, error) {
 		skel := NewCacheableFileSkeleton(env, cacheableImpl{fileImpl{st: st}})
 		obj, _ := caching.Export(env, CacheableFileMT, skel, manager, CacheableOps, InvalidatingOps, nil)
 		return obj, nil
@@ -74,26 +84,62 @@ func NewCachingService(env *core.Env, manager string) *Service {
 // required to perform their own state synchronization").
 type ReplicatedService struct {
 	*Service
-	mu       sync.Mutex
-	replicas []*core.Env
-	groups   map[string]*replicon.Group
-	members  map[string][]*replicon.Member
+	mu         sync.Mutex
+	replicas   []*core.Env
+	groups     map[string]*replicon.Group
+	members    map[string][]*replicon.Member
+	memberHook func(file string, i int, ref kernel.Ref)
 }
 
 // NewReplicatedService creates a file server replicated across the given
 // server domains. front is the domain exporting the file_system object.
 func NewReplicatedService(front *core.Env, replicas []*core.Env) *ReplicatedService {
+	return NewReplicatedServiceWithStore(front, replicas, NewStore())
+}
+
+// NewReplicatedServiceWithStore is NewReplicatedService over an
+// externally owned (typically WAL-recovered) store.
+func NewReplicatedServiceWithStore(front *core.Env, replicas []*core.Env, store *Store) *ReplicatedService {
 	rs := &ReplicatedService{
 		replicas: replicas,
 		groups:   make(map[string]*replicon.Group),
 		members:  make(map[string][]*replicon.Member),
 	}
-	store := NewStore()
 	rs.Service = newService(front, store, func(st *fileState) (*core.Object, error) {
 		g := rs.groupFor(st)
 		return g.Export(front, ReplicatedFileMT), nil
 	})
 	return rs
+}
+
+// SetMemberHook registers fn, called once per member door as replica
+// groups are built — the hook netd durability uses to label member doors
+// ("replica:<file>#<i>") so a restarted server rebinds the same export
+// keys. The ref passed to fn stays owned by the group; fn must not
+// release it.
+func (rs *ReplicatedService) SetMemberHook(fn func(file string, i int, ref kernel.Ref)) {
+	rs.mu.Lock()
+	rs.memberHook = fn
+	rs.mu.Unlock()
+}
+
+// MemberRef returns a duplicate of the door reference for replica i of
+// the named file, building the group if the file exists but its group was
+// not yet demanded (a restarted server rebinding persisted member
+// labels). The caller owns the returned reference.
+func (rs *ReplicatedService) MemberRef(file string, i int) (kernel.Ref, bool) {
+	st, err := rs.store.get(file)
+	if err != nil {
+		return kernel.Ref{}, false
+	}
+	rs.groupFor(st)
+	rs.mu.Lock()
+	members := rs.members[file]
+	rs.mu.Unlock()
+	if i < 0 || i >= len(members) || members[i] == nil {
+		return kernel.Ref{}, false
+	}
+	return members[i].Ref(), true
 }
 
 // groupFor lazily builds the replica group serving one file's state.
@@ -108,7 +154,11 @@ func (rs *ReplicatedService) groupFor(st *fileState) *replicon.Group {
 	var members []*replicon.Member
 	for i, env := range rs.replicas {
 		skel := NewReplicatedFileSkeleton(env, impl)
-		members = append(members, g.Join(env, fmt.Sprintf("%s#%d", st.name, i), skel))
+		m := g.Join(env, fmt.Sprintf("%s#%d", st.name, i), skel)
+		members = append(members, m)
+		if rs.memberHook != nil {
+			rs.memberHook(st.name, i, m.SharedRef())
+		}
 	}
 	rs.groups[st.name] = g
 	rs.members[st.name] = members
@@ -147,8 +197,14 @@ type ReconnectableService struct {
 // clients re-resolve in (they must carry the same context in their
 // environment's reconnectable.ContextVar slot).
 func NewReconnectableService(env *core.Env, ctx naming.Context) *ReconnectableService {
+	return NewReconnectableServiceWithStore(env, ctx, NewStore())
+}
+
+// NewReconnectableServiceWithStore is NewReconnectableService over an
+// externally owned (typically WAL-recovered) store; call Restart to
+// rebind the recovered files into the naming context.
+func NewReconnectableServiceWithStore(env *core.Env, ctx naming.Context, store *Store) *ReconnectableService {
 	rs := &ReconnectableService{ctx: ctx, doors: make(map[string]*kernel.Door)}
-	store := NewStore()
 	rs.Service = newService(env, store, func(st *fileState) (*core.Object, error) {
 		return rs.exportFile(st)
 	})

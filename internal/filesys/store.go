@@ -24,12 +24,15 @@ const (
 func IsNotFound(err error) bool { return stubs.CodeOf(err) == CodeNotFound }
 
 // fileState is the underlying state of one file: what the server owns and
-// Spring objects point at.
+// Spring objects point at. When the store has a WAL attached, wal points
+// at it and every mutation is logged and group-committed before the
+// operation returns.
 type fileState struct {
 	mu      sync.Mutex
 	name    string
 	data    []byte
 	version uint32
+	wal     *WAL
 }
 
 func (st *fileState) size() int64 {
@@ -53,11 +56,16 @@ func (st *fileState) read(offset int64, count int32) []byte {
 	return out
 }
 
-func (st *fileState) write(offset int64, data []byte) int32 {
+// write applies the bytes in memory and, with a WAL attached, blocks on
+// the record's group commit before acknowledging. The apply and the log
+// enqueue happen under the file lock — so log order matches apply order —
+// and the fsync wait happens outside it. The record references data
+// without copying: it is only read until wait returns.
+func (st *fileState) write(offset int64, data []byte) (int32, error) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if offset < 0 {
-		return 0
+		st.mu.Unlock()
+		return 0, nil
 	}
 	end := offset + int64(len(data))
 	if end > int64(len(st.data)) {
@@ -67,7 +75,18 @@ func (st *fileState) write(offset int64, data []byte) int32 {
 	}
 	copy(st.data[offset:end], data)
 	st.version++
-	return int32(len(data))
+	var p *walPending
+	if st.wal != nil {
+		p = st.wal.append(walRecord{
+			op: walOpWrite, name: st.name,
+			offset: offset, version: st.version, data: data,
+		})
+	}
+	st.mu.Unlock()
+	if err := p.wait(); err != nil {
+		return 0, err
+	}
+	return int32(len(data)), nil
 }
 
 func (st *fileState) ver() uint32 {
@@ -80,6 +99,7 @@ func (st *fileState) ver() uint32 {
 type Store struct {
 	mu    sync.Mutex
 	files map[string]*fileState
+	wal   *WAL
 }
 
 // NewStore returns an empty store.
@@ -98,27 +118,54 @@ func (s *Store) get(name string) (*fileState, error) {
 	return st, nil
 }
 
-// create makes a new empty file.
+// create makes a new empty file, durably when a WAL is attached.
 func (s *Store) create(name string) (*fileState, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.files[name]; ok {
+		s.mu.Unlock()
 		return nil, &stubs.RemoteError{Code: CodeExists, Msg: fmt.Sprintf("filesys: %q already exists", name)}
 	}
-	st := &fileState{name: name}
+	st := &fileState{name: name, wal: s.wal}
 	s.files[name] = st
+	var p *walPending
+	if s.wal != nil {
+		p = s.wal.append(walRecord{op: walOpCreate, name: name})
+	}
+	s.mu.Unlock()
+	if err := p.wait(); err != nil {
+		return nil, err
+	}
 	return st, nil
 }
 
-// remove deletes a file.
+// remove deletes a file, durably when a WAL is attached.
 func (s *Store) remove(name string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.files[name]; !ok {
+		s.mu.Unlock()
 		return &stubs.RemoteError{Code: CodeNotFound, Msg: fmt.Sprintf("filesys: no such file %q", name)}
 	}
 	delete(s.files, name)
-	return nil
+	var p *walPending
+	if s.wal != nil {
+		p = s.wal.append(walRecord{op: walOpRemove, name: name})
+	}
+	s.mu.Unlock()
+	return p.wait()
+}
+
+// AttachWAL binds w to the store: every subsequent mutation is logged and
+// group-committed before it is acknowledged. Called by OpenWAL after
+// recovery, before the store serves traffic.
+func (s *Store) AttachWAL(w *WAL) {
+	s.mu.Lock()
+	s.wal = w
+	for _, st := range s.files {
+		st.mu.Lock()
+		st.wal = w
+		st.mu.Unlock()
+	}
+	s.mu.Unlock()
 }
 
 // list returns the sorted file names.
@@ -146,9 +193,10 @@ func (f fileImpl) Read(offset int64, count int32) ([]byte, error) {
 	return f.st.read(offset, count), nil
 }
 
-// Write implements FileServer.
+// Write implements FileServer. With a WAL attached the write is
+// acknowledged only once its log record is fsynced (group commit).
 func (f fileImpl) Write(offset int64, data []byte) (int32, error) {
-	return f.st.write(offset, data), nil
+	return f.st.write(offset, data)
 }
 
 // Version implements FileServer.

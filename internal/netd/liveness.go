@@ -214,6 +214,7 @@ func (s *Server) handleHello(c *conn, instance, epoch uint64, listenAddr string,
 	}
 	sess.conns[c] = struct{}{}
 	sess.downSince = time.Time{}
+	s.markDirtyLocked()
 	c.mu.Lock() // s.mu → c.mu, the order getConn uses via isDead
 	c.sess = sess
 	c.peerAddr = listenAddr
@@ -309,6 +310,7 @@ func (s *Server) sweeper() {
 		s.expireLeases(now)
 		s.expireImports(now)
 		s.replayQueued()
+		s.flushState()
 	}
 }
 
@@ -364,6 +366,7 @@ func (s *Server) expireLeases(now time.Time) {
 			s.dropSessionRefsLocked(key, sess)
 		}
 		gRefsReclaimed.Add(int64(reclaimed))
+		s.markDirtyLocked()
 	}
 	s.mu.Unlock()
 }

@@ -131,6 +131,18 @@ type Config struct {
 	// Transport supplies the listener, dialer and capability set
 	// (transport tiers, fault injection). Nil defaults to TCPTransport.
 	Transport Transport
+	// StateFile, when set, makes the server durable (E19): the
+	// session/lease table, labeled exports and the instance identity are
+	// persisted there (atomically, from the sweeper), and a server
+	// restarted against the same file rejoins the network under its old
+	// identity. Empty disables persistence.
+	StateFile string
+	// Rebinder resolves a persisted export label back to a live door
+	// reference on restart (ownership of the returned reference passes
+	// to the server). Labels come from LabelDoor and the automatic
+	// "root:<name>/<i>" family; see RootRebinder. Nil means labeled
+	// exports are not recovered.
+	Rebinder func(label string) (kernel.Ref, bool)
 }
 
 // withDefaults is the single defaulting path: every zero field takes its
@@ -197,6 +209,12 @@ func With(cfg Config) Option {
 		if cfg.Transport != nil {
 			c.Transport = cfg.Transport
 		}
+		if cfg.StateFile != "" {
+			c.StateFile = cfg.StateFile
+		}
+		if cfg.Rebinder != nil {
+			c.Rebinder = cfg.Rebinder
+		}
 	}
 }
 
@@ -205,6 +223,17 @@ func WithTransport(t Transport) Option { return func(c *Config) { c.Transport = 
 
 // WithBulkThreshold sets the bulk hand-off threshold in bytes.
 func WithBulkThreshold(n int) Option { return func(c *Config) { c.BulkThreshold = n } }
+
+// WithStateFile makes the server durable: its session/lease table and
+// labeled exports persist to path, and a restart against the same path
+// rejoins under the old instance identity.
+func WithStateFile(path string) Option { return func(c *Config) { c.StateFile = path } }
+
+// WithRebinder sets the label resolver a durable server uses on restart
+// to reattach persisted export keys to live doors.
+func WithRebinder(fn func(label string) (kernel.Ref, bool)) Option {
+	return func(c *Config) { c.Rebinder = fn }
+}
 
 // Server is one machine's network door server.
 type Server struct {
@@ -233,6 +262,14 @@ type Server struct {
 	sessions  map[uint64]*session    // peer instance → lease session
 	peers     map[string]*peerState
 	closed    bool
+
+	// Durability (E19): labels names the exports worth recovering after
+	// a restart, pendingLabels holds labels assigned before the door was
+	// first exported (door identity → label), and stateDirty gates the
+	// sweeper's state-file flush.
+	labels        map[uint64]string
+	pendingLabels map[uint64]string
+	stateDirty    bool
 
 	// connCache mirrors conns for the lock-free forward fast path; it is
 	// maintained under mu at every conns mutation and may only lag by
@@ -292,6 +329,18 @@ func Start(dom *kernel.Domain, listenAddr string, opts ...Option) (*Server, erro
 		sessions:  make(map[uint64]*session),
 		peers:     make(map[string]*peerState),
 		stop:      make(chan struct{}),
+
+		labels:        make(map[uint64]string),
+		pendingLabels: make(map[uint64]string),
+	}
+	if cfg.StateFile != "" {
+		if err := s.loadState(); err != nil {
+			_ = ln.Close()
+			return nil, err
+		}
+		// Make the identity durable before serving: a crash before the
+		// first sweep must not mint a new instance on the next boot.
+		s.flushState()
 	}
 	s.wg.Add(2)
 	go s.acceptLoop()
@@ -302,9 +351,25 @@ func Start(dom *kernel.Domain, listenAddr string, opts ...Option) (*Server, erro
 // Addr returns the server's advertised address.
 func (s *Server) Addr() string { return s.addr }
 
+// Instance returns the server's per-process instance identity — random
+// at first boot, restored from the state file by a durable restart.
+func (s *Server) Instance() uint64 { return s.instance }
+
 // Close stops the listener, the liveness sweeper, and tears down all
-// connections. In-flight calls fail with communications errors.
+// connections. In-flight calls fail with communications errors. A
+// durable server flushes its state file first, so a clean shutdown
+// restarts with current tables.
 func (s *Server) Close() error {
+	s.flushState()
+	return s.shutdown()
+}
+
+// Kill tears the server down without flushing the state file — the
+// SIGKILL simulation for crash tests: the state file stays whatever the
+// sweeper last wrote, exactly as after a power loss.
+func (s *Server) Kill() error { return s.shutdown() }
+
+func (s *Server) shutdown() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -389,14 +454,23 @@ func (s *Server) exportSlot(slot buffer.Door, c *conn) (descriptor, error) {
 	if key, ok := s.byDoor[ref.DoorID()]; ok {
 		s.exports[key].held[sess]++
 		sess.refs[key]++
+		if _, labeled := s.labels[key]; labeled {
+			s.markDirtyLocked()
+		}
 		ref.Release() // the table's handle already keeps the door alive
 		return descriptor{Addr: s.addr, Key: key}, nil
 	}
 	key := s.nextKey
 	s.nextKey++
+	doorID := ref.DoorID()
 	s.exports[key] = &exportEntry{h: s.dom.AdoptRef(ref), held: map[*session]int{sess: 1}}
-	s.byDoor[ref.DoorID()] = key
+	s.byDoor[doorID] = key
 	sess.refs[key] = 1
+	if label, ok := s.pendingLabels[doorID]; ok {
+		delete(s.pendingLabels, doorID)
+		s.labels[key] = label
+		s.markDirtyLocked()
+	}
 	gExports.Add(1)
 	return descriptor{Addr: s.addr, Key: key}, nil
 }
@@ -455,6 +529,10 @@ func (s *Server) removeExportLocked(key uint64, e *exportEntry) {
 			break
 		}
 	}
+	if _, ok := s.labels[key]; ok {
+		delete(s.labels, key)
+		s.markDirtyLocked()
+	}
 	if !s.closed { // Close bulk-decrements the whole table
 		gExports.Add(-1)
 	}
@@ -481,6 +559,9 @@ func (s *Server) releaseLocked(sess *session, key uint64, count int) {
 	}
 	if sess.refs[key] -= count; sess.refs[key] <= 0 {
 		delete(sess.refs, key)
+	}
+	if _, labeled := s.labels[key]; labeled {
+		s.markDirtyLocked()
 	}
 	if len(e.held) == 0 {
 		s.removeExportLocked(key, e)
@@ -510,6 +591,9 @@ func (s *Server) releaseAnyLocked(key uint64, count int) {
 		if sess.refs[key] -= take; sess.refs[key] <= 0 {
 			delete(sess.refs, key)
 		}
+	}
+	if _, labeled := s.labels[key]; labeled {
+		s.markDirtyLocked()
 	}
 	if len(e.held) == 0 {
 		s.removeExportLocked(key, e)
@@ -1085,6 +1169,13 @@ func (s *Server) handleRoot(c *conn, reqID uint64, name string) {
 		buffer.Put(tmp)
 		s.reply(c, reqID, codeError, nil, err.Error())
 		return
+	}
+	if s.cfg.StateFile != "" {
+		// Durable servers label root-marshalled doors before the reply
+		// exports them, so a restart can rebind their keys (RootRebinder).
+		s.mu.Lock()
+		s.labelRootDoorsLocked(name, tmp.Doors())
+		s.mu.Unlock()
 	}
 	s.reply(c, reqID, codeOK, tmp, "")
 	buffer.Put(tmp) // reply() copied, granted or detached the payload and took the doors

@@ -1,0 +1,203 @@
+package netd
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sctest"
+	"repro/internal/subcontracts/singleton"
+)
+
+// fastLivenessCfg scales the sweeper for tests so state flushes happen
+// in milliseconds.
+func fastLivenessCfg() Config {
+	return Config{
+		CallTimeout:       500 * time.Millisecond,
+		DialTimeout:       200 * time.Millisecond,
+		HeartbeatInterval: 20 * time.Millisecond,
+		LeaseGrace:        2 * time.Second,
+		BreakerBackoff:    10 * time.Millisecond,
+		BreakerMaxBackoff: 50 * time.Millisecond,
+	}
+}
+
+// startDurable boots a server process for the durability tests: a
+// kernel, an app env, a counter published as root "counter", and a netd
+// with the given state file whose rebinder re-marshals that root.
+type durableProc struct {
+	k   *kernel.Kernel
+	srv *Server
+	env *core.Env
+	ctr *sctest.Counter
+}
+
+func startDurable(t *testing.T, listenAddr, stateFile string) *durableProc {
+	t.Helper()
+	k := kernel.New("D")
+	env, err := sctest.NewEnv(k, "D-app", singleton.Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := &sctest.Counter{}
+	obj, _ := singleton.Export(env, sctest.CounterMT, ctr.Skeleton(), nil)
+	roots := map[string]*core.Object{"counter": obj}
+	srv, err := Start(k.NewDomain("D-netd"), listenAddr,
+		With(fastLivenessCfg()), WithStateFile(stateFile), WithRebinder(RootRebinder(roots)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.PublishRoot("counter", obj)
+	return &durableProc{k: k, srv: srv, env: env, ctr: ctr}
+}
+
+func waitForStateFile(t *testing.T, path string, pred func(persistedState) bool) persistedState {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		data, err := os.ReadFile(path)
+		if err == nil {
+			var ps persistedState
+			if json.Unmarshal(data, &ps) == nil && pred(ps) {
+				return ps
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("state file %s never reached the expected shape", path)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestStateFilePersistsIdentityAndExports: the sweeper writes the state
+// file with the instance, the peer's session, and the labeled root
+// export the peer is holding.
+func TestStateFilePersistsIdentityAndExports(t *testing.T) {
+	stateFile := filepath.Join(t.TempDir(), "netd.state")
+	d := startDurable(t, "127.0.0.1:0", stateFile)
+	t.Cleanup(func() { d.srv.Close() })
+	cli := newMachine(t, "C")
+
+	remote, err := cli.srv.ImportRootObject(cli.env, d.srv.Addr(), "counter", sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := sctest.Add(remote, 3); err != nil || v != 3 {
+		t.Fatalf("Add = %d, %v", v, err)
+	}
+
+	ps := waitForStateFile(t, stateFile, func(ps persistedState) bool {
+		return len(ps.Exports) > 0 && len(ps.Sessions) > 0
+	})
+	if ps.Instance != d.srv.Instance() {
+		t.Fatalf("persisted instance %#x, server %#x", ps.Instance, d.srv.Instance())
+	}
+	if ps.Exports[0].Label != "root:counter/0" {
+		t.Fatalf("export label = %q", ps.Exports[0].Label)
+	}
+	if ps.Sessions[0].Instance != cli.srv.Instance() {
+		t.Fatalf("persisted session %#x, client %#x", ps.Sessions[0].Instance, cli.srv.Instance())
+	}
+	if len(ps.Sessions[0].Refs) == 0 || ps.Sessions[0].Refs[0].Key != ps.Exports[0].Key {
+		t.Fatalf("session refs %v do not cover export key %d", ps.Sessions[0].Refs, ps.Exports[0].Key)
+	}
+}
+
+// TestRestartRejoinsOldIdentity: a killed server restarted against its
+// state file comes back with the same instance, a slack-advanced key
+// counter, and the labeled export rebound — the old client proxy works
+// with no re-import.
+func TestRestartRejoinsOldIdentity(t *testing.T) {
+	stateFile := filepath.Join(t.TempDir(), "netd.state")
+	d := startDurable(t, "127.0.0.1:0", stateFile)
+	addr, firstInstance := d.srv.Addr(), d.srv.Instance()
+	cli := newMachine(t, "C")
+
+	remote, err := cli.srv.ImportRootObject(cli.env, addr, "counter", sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sctest.Add(remote, 3); err != nil {
+		t.Fatal(err)
+	}
+	ps := waitForStateFile(t, stateFile, func(ps persistedState) bool {
+		return len(ps.Exports) > 0 && len(ps.Sessions) > 0
+	})
+
+	_ = d.srv.Kill()
+	d2 := startDurable(t, addr, stateFile)
+	t.Cleanup(func() { d2.srv.Close() })
+
+	if got := d2.srv.Instance(); got != firstInstance {
+		t.Fatalf("instance after restart %#x, want %#x", got, firstInstance)
+	}
+	d2.srv.mu.Lock()
+	nextKey := d2.srv.nextKey
+	d2.srv.mu.Unlock()
+	if nextKey < ps.NextKey+keySlack {
+		t.Fatalf("nextKey %d not advanced past persisted %d + slack", nextKey, ps.NextKey)
+	}
+	if got := d2.srv.Exports(); got != 1 {
+		t.Fatalf("rebound exports = %d, want 1", got)
+	}
+
+	// The client's old proxy reaches the rebound door once its redial
+	// lands; the counter state lives in the new process, so the value
+	// restarts — what must survive is the identifier, not the state.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		v, err := sctest.Add(remote, 2)
+		if err == nil {
+			if v != 2 {
+				t.Fatalf("Add through rebound export = %d, want 2", v)
+			}
+			break
+		}
+		if !core.Retryable(err) {
+			t.Fatalf("old proxy failed non-retryably after restart: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("old proxy never recovered: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCorruptStateFileRefusesStart: silently minting a fresh identity
+// would strand every peer's references, so a durable server refuses to
+// start over an unreadable state file.
+func TestCorruptStateFileRefusesStart(t *testing.T) {
+	stateFile := filepath.Join(t.TempDir(), "netd.state")
+	if err := os.WriteFile(stateFile, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New("D")
+	_, err := Start(k.NewDomain("D-netd"), "127.0.0.1:0",
+		With(fastLivenessCfg()), WithStateFile(stateFile))
+	if err == nil {
+		t.Fatal("start over a corrupt state file succeeded")
+	}
+}
+
+// TestFirstBootWritesStateFile: with no state file on disk, Start mints
+// an identity and persists it before serving.
+func TestFirstBootWritesStateFile(t *testing.T) {
+	stateFile := filepath.Join(t.TempDir(), "netd.state")
+	d := startDurable(t, "127.0.0.1:0", stateFile)
+	t.Cleanup(func() { d.srv.Close() })
+	data, err := os.ReadFile(stateFile)
+	if err != nil {
+		t.Fatalf("state file not written at first boot: %v", err)
+	}
+	var ps persistedState
+	if err := json.Unmarshal(data, &ps); err != nil {
+		t.Fatal(err)
+	}
+	if ps.Instance != d.srv.Instance() {
+		t.Fatalf("persisted %#x, live %#x", ps.Instance, d.srv.Instance())
+	}
+}

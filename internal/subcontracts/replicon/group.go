@@ -122,6 +122,14 @@ func (m *Member) Crash() {
 // Name returns the member's name.
 func (m *Member) Name() string { return m.name }
 
+// Ref returns a caller-owned duplicate of the member's door reference.
+func (m *Member) Ref() kernel.Ref { return m.ref.Dup() }
+
+// SharedRef returns the member's own door reference without duplicating
+// it; the group retains ownership, so callers may inspect identity but
+// must not release it.
+func (m *Member) SharedRef() kernel.Ref { return m.ref }
+
 // Export fabricates a client object for the group's state in env: a method
 // table consisting entirely of stub methods, a replicon subcontract
 // descriptor, and a representation consisting of a set of kernel door

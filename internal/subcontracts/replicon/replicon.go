@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/core"
@@ -40,6 +41,25 @@ const LibraryName = "replicon.so"
 
 // ErrNoReplicas is returned when every replica has been found dead.
 var ErrNoReplicas = errors.New("replicon: no live replicas")
+
+// PolicyVar is the environment slot for an optional *Policy override.
+const PolicyVar = "replicon.policy"
+
+// Policy controls how invoke treats a fully failed replica set. Without a
+// policy (the default) the last replica is dropped like any other and
+// invoke returns ErrNoReplicas — a whole-set outage permanently empties
+// the representation. With MaxRounds > 0, a replica that fails while it
+// is the last one standing is retained and retried after Backoff, up to
+// MaxRounds consecutive failures — so a transient whole-set outage (a
+// durable server restarting) is ridden out instead of wrecking the
+// replica set. Replicas are still dropped immediately while others
+// remain, preserving instant failover among live replicas.
+type Policy struct {
+	// MaxRounds bounds consecutive retries of the last live replica.
+	MaxRounds int
+	// Backoff is slept between rounds (bounded by the call's context).
+	Backoff time.Duration
+}
 
 // stats is the subcontract's metrics block; Failovers counts replicas
 // dropped from the target set mid-scan.
@@ -191,10 +211,18 @@ func invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	if err != nil {
 		return nil, err
 	}
+	var pol Policy
+	if p, ok := obj.Env.Get(PolicyVar); ok {
+		if pp, ok := p.(*Policy); ok {
+			pol = *pp
+		}
+	}
 	dom := obj.Env.Domain
+	rounds := 0
 	for {
 		r.mu.Lock()
-		if len(r.hs) == 0 {
+		n := len(r.hs)
+		if n == 0 {
 			r.mu.Unlock()
 			return nil, ErrNoReplicas
 		}
@@ -206,7 +234,20 @@ func invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 			if core.Retryable(err) {
 				stats.Failovers.Add(1)
 				trace.Event(call.Info(), spanFailoverEvent)
-				r.dropDead(dom, h)
+				if n == 1 && pol.MaxRounds > 0 {
+					// Last replica standing under a retry policy: keep it
+					// (dropping it would permanently empty the set) and
+					// back off before another round.
+					rounds++
+					if rounds >= pol.MaxRounds {
+						return nil, err
+					}
+					if serr := sleepInfo(pol.Backoff, call.Info()); serr != nil {
+						return nil, serr
+					}
+				} else {
+					r.dropDead(dom, h)
+				}
 				if err := call.Err(); err != nil {
 					return nil, err
 				}
@@ -222,6 +263,29 @@ func invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 		}
 		return reply, nil
 	}
+}
+
+// sleepInfo sleeps for d, but no longer than the call context's remaining
+// budget, waking immediately on cancellation.
+func sleepInfo(d time.Duration, info *kernel.Info) error {
+	if err := info.Err(); err != nil {
+		return err
+	}
+	if rem, ok := info.Remaining(); ok && rem < d {
+		d = rem
+	}
+	if info != nil && info.Cancel != nil {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-info.Cancel:
+			return kernel.ErrCancelled
+		case <-t.C:
+		}
+	} else {
+		time.Sleep(d)
+	}
+	return info.Err()
 }
 
 // dropDead deletes a dead replica's identifier from the target set.

@@ -2,8 +2,11 @@ package replicon
 
 import (
 	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/core"
@@ -251,5 +254,108 @@ func TestConcurrentInvokeDuringCrash(t *testing.T) {
 	close(errCh)
 	for err := range errCh {
 		t.Fatalf("concurrent invoke failed: %v", err)
+	}
+}
+
+// flakyReplica is a single member door that fails its first `failures`
+// calls in the retryable communications class, then serves the counter
+// normally — the shape of a server riding out a restart.
+func flakyReplica(t *testing.T, k *kernel.Kernel, ctr *sctest.Counter, failures int) (*core.Env, kernel.Handle) {
+	t.Helper()
+	env, err := sctest.NewEnv(k, "flaky-replica", Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skel := ctr.Skeleton()
+	var remaining atomic.Int32
+	remaining.Store(int32(failures))
+	proc := func(req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
+		if remaining.Add(-1) >= 0 {
+			// Fail before consuming req: in-kernel retries reuse the same
+			// args buffer, as a wire transport re-serializes per attempt.
+			return nil, fmt.Errorf("%w: injected outage", kernel.ErrCommFailure)
+		}
+		if _, err := req.ReadUint32(); err != nil { // epoch control
+			return nil, err
+		}
+		reply := buffer.New(64)
+		reply.WriteByte(0) // no replica-set update
+		if err := stubs.ServeCallInfo(skel, req, reply, info); err != nil {
+			return nil, err
+		}
+		return reply, nil
+	}
+	h, _ := env.Domain.CreateDoorInfo(proc, nil)
+	return env, h
+}
+
+// TestPolicyRetainsLastReplica: with a retry policy set, a retryable
+// failure on the last remaining replica does not empty the set — the
+// handle is retained and retried until the replica comes back.
+func TestPolicyRetainsLastReplica(t *testing.T) {
+	k := kernel.New("m1")
+	ctr := &sctest.Counter{}
+	env, h := flakyReplica(t, k, ctr, 5)
+	cli := client(t, k)
+	ref, err := env.Domain.RefOf(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := core.NewObject(cli, sctest.CounterMT, SC, &Rep{hs: []kernel.Handle{cli.Domain.AdoptRef(ref)}})
+	cli.Set(PolicyVar, &Policy{MaxRounds: 50, Backoff: time.Millisecond})
+
+	if v, err := sctest.Add(obj, 7); err != nil || v != 7 {
+		t.Fatalf("Add through outage = %d, %v", v, err)
+	}
+	if n, _ := Replicas(obj); n != 1 {
+		t.Fatalf("replica set after retries = %d, want 1 (retained)", n)
+	}
+}
+
+// TestPolicyBoundsRetries: when the outage outlasts MaxRounds the call
+// returns the retryable error — but the replica is still retained, so a
+// later call (after recovery) succeeds without any re-resolution.
+func TestPolicyBoundsRetries(t *testing.T) {
+	k := kernel.New("m1")
+	ctr := &sctest.Counter{}
+	env, h := flakyReplica(t, k, ctr, 10)
+	cli := client(t, k)
+	ref, err := env.Domain.RefOf(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := core.NewObject(cli, sctest.CounterMT, SC, &Rep{hs: []kernel.Handle{cli.Domain.AdoptRef(ref)}})
+	cli.Set(PolicyVar, &Policy{MaxRounds: 3, Backoff: time.Millisecond})
+
+	if _, err := sctest.Add(obj, 1); !core.Retryable(err) {
+		t.Fatalf("exhausted retries = %v, want a retryable error", err)
+	}
+	if n, _ := Replicas(obj); n != 1 {
+		t.Fatalf("replica dropped despite retention policy: %d", n)
+	}
+	// 3 of the 10 injected failures were consumed; the next call burns
+	// the remaining 7 inside its own 50-round budget and succeeds.
+	cli.Set(PolicyVar, &Policy{MaxRounds: 50, Backoff: time.Millisecond})
+	if v, err := sctest.Add(obj, 2); err != nil || v != 2 {
+		t.Fatalf("Add after recovery = %d, %v", v, err)
+	}
+}
+
+// TestNoPolicyDropsLastReplica pins the default (policy-free) semantics
+// the other tests rely on: the last replica is dropped like any other and
+// the set empties to ErrNoReplicas.
+func TestNoPolicyDropsLastReplica(t *testing.T) {
+	k := kernel.New("m1")
+	ctr := &sctest.Counter{}
+	env, h := flakyReplica(t, k, ctr, 1)
+	cli := client(t, k)
+	ref, err := env.Domain.RefOf(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := core.NewObject(cli, sctest.CounterMT, SC, &Rep{hs: []kernel.Handle{cli.Domain.AdoptRef(ref)}})
+
+	if _, err := sctest.Add(obj, 1); !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("Add without policy = %v, want ErrNoReplicas", err)
 	}
 }
