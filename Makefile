@@ -52,10 +52,14 @@ bench:
 	go run ./cmd/benchjson -experiment 'E19 durable writes: WAL group-commit batch-size sweep vs in-memory baseline' \
 		-note 'fsync latency is the unit here and varies with the host disk; compare batch caps within a run' \
 		-o BENCH_wal.json < /tmp/bench_wal.out
+	go test -run NONE -bench 'E20' -benchmem -benchtime 2s . | tee /tmp/bench_dispatch.out
+	go run ./cmd/benchjson -experiment 'E20 server-side dispatch: adaptive inline + sharded worker pool vs goroutine per call' \
+		-note 'compare Engine/Queued/Spawn cells within one run; on a one-CPU host the P64 cells share one CPU ceiling and the dispatch win shows at P1/P8, where inline saves every handoff' \
+		-o BENCH_dispatch.json < /tmp/bench_dispatch.out
 
 # One-iteration smoke: the benchmarks still compile and run.
 bench-quick:
-	go test -run NONE -bench 'E15|E16|E17|E18|E19' -benchtime 1x .
+	go test -run NONE -bench 'E15|E16|E17|E18|E19|E20' -benchtime 1x .
 
 bench-all:
 	go test -bench=. -benchmem

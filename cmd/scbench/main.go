@@ -31,6 +31,10 @@ var (
 		"serve /metrics, /traces, /healthz and pprof on this address while the suite runs (empty = off)")
 	traceSample = flag.Int("trace-sample", 0,
 		"record a trace for 1 in N calls that arrive untraced (0 = only explicitly traced calls)")
+	dispatchWorkers = flag.Int("dispatch-workers", 0,
+		"dispatch pool workers for the E20 engine cells (0 = GOMAXPROCS, capped at 64)")
+	dispatchInflight = flag.Int("dispatch-inflight", 0,
+		"in-flight admission bound for the E20 engine cells (0 = default 1024)")
 )
 
 // run executes one experiment body under the testing benchmark driver.
@@ -200,6 +204,18 @@ func main() {
 	b256 := run("durable, 64 writers, batch cap 256", bench.E19DurableWrite(64, 256))
 	fmt.Printf("  => group commit recovers %.1fx over one-fsync-per-write; durability costs %.1fx vs memory\n",
 		nsPerOp(b1)/nsPerOp(b256), nsPerOp(b256)/nsPerOp(mem))
+
+	section("E20 server-side dispatch engine (0B echo; inline fast path + sharded pool)")
+	bench.SetE20Dispatch(*dispatchWorkers, *dispatchInflight)
+	spawn64 := run("64 callers, goroutine per call (pre-E20)", bench.E20Serve("spawn", 64, 0))
+	run("64 callers, pool only (inline off)", bench.E20Serve("queued", 64, 0))
+	eng64 := run("64 callers, engine (adaptive inline)", bench.E20Serve("engine", 64, 0))
+	run("1 caller, goroutine per call (pre-E20)", bench.E20Serve("spawn", 1, 0))
+	run("1 caller, engine (adaptive inline)", bench.E20Serve("engine", 1, 0))
+	run("100µs blocking handler, 64 callers, 64 workers", bench.E20Blocking("engine", 64))
+	run("offered load 4x the admission bound", bench.E20Overload(4))
+	fmt.Printf("  => the dispatch engine serves 64-way traffic %.1fx faster than goroutine-per-call\n",
+		nsPerOp(spawn64)/nsPerOp(eng64))
 
 	if *stats {
 		fmt.Println("\nper-subcontract metrics (scstats)")

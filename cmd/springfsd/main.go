@@ -60,6 +60,10 @@ var (
 		"enable the same-machine transport tier: listen on unix:<path> addresses and hand large replies over as mapped regions to co-resident peers")
 	bulkThreshold = flag.Int("bulk-threshold", 0,
 		"payload size (bytes) above which a same-machine call rides a mapped region instead of the frame (0 = default)")
+	dispatchWorkers = flag.Int("dispatch-workers", 0,
+		"serve-side dispatch pool workers (0 = GOMAXPROCS, capped at 64)")
+	dispatchInflight = flag.Int("dispatch-inflight", 0,
+		"in-flight admission bound for incoming calls; past it callers get a retryable overload reply (0 = default 1024, negative = unbounded)")
 
 	cacheBudget = flag.Int64("cache-budget", 0,
 		"per-entry reply-cache byte budget for the cache manager (0 = default, negative = unbounded)")
@@ -169,6 +173,10 @@ func main() {
 		HeartbeatInterval: *hbInterval,
 		LeaseGrace:        *leaseGrace,
 		BulkThreshold:     *bulkThreshold,
+		Dispatch: netd.DispatchConfig{
+			Workers:     *dispatchWorkers,
+			MaxInflight: *dispatchInflight,
+		},
 	}
 	if *sameMachine {
 		cfg.Transport = netd.SameMachine()

@@ -228,6 +228,16 @@ func WithTrace(id uint64) CallOption {
 	return func(c *Call) { c.info.Trace = id }
 }
 
+// WithPriority sets the call's scheduling priority (higher runs first;
+// 0 is the default). The server-side dispatch engine orders queued work
+// by it, locally and — through the netd wire header — across machines.
+// The priority subcontract sets it per call from the calling domain's
+// environment; WithPriority is the direct form for callers that know a
+// single call's urgency.
+func WithPriority(p int32) CallOption {
+	return func(c *Call) { c.info.Priority = p }
+}
+
 // WithTraceContext continues the trace carried by an existing invocation
 // context: a server making downstream calls on behalf of a traced request
 // passes the kernel.Info its skeleton received, and the downstream spans

@@ -16,6 +16,10 @@ import (
 //     or the server is gone. RETRY-SAFE for idempotent protocols; this is
 //     exactly the class replicon fails over on and reconnectable
 //     re-resolves on.
+//   - Admission refusals (kernel.ErrOverload): the server shed the call
+//     at its dispatch engine's in-flight bound before executing it.
+//     RETRY-SAFE unconditionally — the call never ran — but the right
+//     response is backoff or failover, not an immediate hammer.
 //   - Context endings (ErrDeadlineExceeded, ErrCancelled): the caller's
 //     budget is spent or the caller abandoned the call. NEVER retry-safe;
 //     a subcontract must surface these immediately, however many replicas
@@ -37,6 +41,9 @@ var (
 	// ErrCancelled reports that the caller abandoned the call. Same value
 	// as kernel.ErrCancelled.
 	ErrCancelled = kernel.ErrCancelled
+	// ErrOverload reports that the server refused the call at admission
+	// (dispatch in-flight bound). Same value as kernel.ErrOverload.
+	ErrOverload = kernel.ErrOverload
 )
 
 // Retryable reports whether err is in the retry-safe class: a
@@ -52,5 +59,6 @@ func Retryable(err error) bool {
 	}
 	return errors.Is(err, kernel.ErrCommFailure) ||
 		errors.Is(err, kernel.ErrRevoked) ||
-		errors.Is(err, kernel.ErrBadHandle)
+		errors.Is(err, kernel.ErrBadHandle) ||
+		errors.Is(err, kernel.ErrOverload)
 }

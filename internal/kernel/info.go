@@ -53,6 +53,12 @@ type Info struct {
 	// there. Meaningless when Trace is 0.
 	Span   uint64
 	Parent uint64
+	// Priority is the caller's scheduling priority for this call (higher
+	// runs first; 0 is the default). The priority subcontract sets it
+	// from the calling domain's environment slot, core.WithPriority sets
+	// it directly, and the network door servers carry it across the wire
+	// so the server-side dispatch engine orders queued work by it.
+	Priority int32
 }
 
 // Err reports whether the context has already ended: ErrCancelled if the

@@ -53,6 +53,12 @@ var (
 	// reconnectable — test for this class alongside ErrRevoked and
 	// ErrBadHandle.
 	ErrCommFailure = errors.New("kernel: communication failure")
+	// ErrOverload is returned when a server refuses a call at admission:
+	// its dispatch engine's in-flight bound is reached and the call was
+	// shed immediately instead of queueing without bound. The call never
+	// executed, so the class is retry-safe (core.Retryable) — back off
+	// and try again, or fail over to a replica.
+	ErrOverload = errors.New("kernel: server overloaded")
 )
 
 // Handle is a door identifier as seen by one domain: an unforgeable,
@@ -79,6 +85,10 @@ type door struct {
 	id      uint64 // kernel-wide unique, for diagnostics
 	refs    atomic.Int64
 	revoked atomic.Bool
+	// inline hints that the door's target is non-blocking and safe to
+	// run directly on a network reader goroutine (see Door.SetInline);
+	// the netd dispatch layer seeds its adaptive inline state with it.
+	inline atomic.Bool
 }
 
 // Ref is a kernel-level door reference: the form a door identifier takes
@@ -171,6 +181,12 @@ type Kernel struct {
 	unrefMu      sync.Mutex
 	unrefQueue   []func()
 	unrefRunning bool
+	// unrefDispatch, when set (SetUnrefDispatcher), supplies the
+	// execution context for the drain instead of a dedicated goroutine —
+	// the netd servers point it at their dispatch engine so unreferenced
+	// notifications share the serve pool. FIFO and single-drainer
+	// semantics are unchanged either way.
+	unrefDispatch atomic.Pointer[func(drain func())]
 }
 
 // LiveDoors reports the number of door objects currently alive on this
@@ -197,9 +213,28 @@ func (k *Kernel) noteUnreferenced(d *door) {
 	k.unrefQueue = append(k.unrefQueue, d.unref)
 	if !k.unrefRunning {
 		k.unrefRunning = true
-		go k.drainUnrefs()
+		if start := k.unrefDispatch.Load(); start != nil {
+			(*start)(k.drainUnrefs)
+		} else {
+			go k.drainUnrefs()
+		}
 	}
 	k.unrefMu.Unlock()
+}
+
+// SetUnrefDispatcher injects the execution context for unreferenced-
+// notification drains: start is invoked (at most once per idle→busy
+// transition) with the drain function to run, letting a server host the
+// drain on its worker pool instead of a fresh goroutine. start must run
+// drain exactly once, asynchronously (never on the caller's stack — the
+// caller holds kernel locks). A nil start restores the default
+// goroutine-per-drain behaviour.
+func (k *Kernel) SetUnrefDispatcher(start func(drain func())) {
+	if start == nil {
+		k.unrefDispatch.Store(nil)
+		return
+	}
+	k.unrefDispatch.Store(&start)
 }
 
 // drainUnrefs runs queued unreferenced notifications in FIFO order until
@@ -266,6 +301,17 @@ func (d *Domain) Kernel() *Kernel { return d.kernel }
 type Door struct {
 	d *door
 }
+
+// SetInline hints that the door's target is non-blocking — it touches no
+// locks held across waits, does no I/O and issues no nested remote calls
+// — so a network door server may execute its calls directly on a
+// connection reader goroutine. The hint seeds the dispatch layer's
+// adaptive inline state; a hinted door that then blocks is demoted like
+// any other (one slow call).
+func (d *Door) SetInline(v bool) { d.d.inline.Store(v) }
+
+// InlineHint reports the door's non-blocking hint (see Door.SetInline).
+func (r Ref) InlineHint() bool { return r.d != nil && r.d.inline.Load() }
 
 // Revoke revokes the door: all future calls on any identifier for it fail
 // with ErrRevoked. Revocation is how a server discards state without

@@ -82,6 +82,11 @@ type conn struct {
 	nextID atomic.Uint64
 	shards [pendShards]pendShard
 
+	// inflight counts this peer's serve calls admitted and not yet
+	// replied — the per-peer half of the dispatch engine's bounded
+	// admission (Config.Dispatch.MaxPerPeer).
+	inflight atomic.Int64
+
 	// owner is this connection's region-grant token: every bulk region
 	// granted for a frame sent on this connection is keyed under it, so
 	// connClosed can reclaim exactly the in-flight grants a dead

@@ -50,15 +50,18 @@ package netd
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand/v2"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/kernel"
 	"repro/internal/scstats"
 	"repro/internal/trace"
@@ -89,6 +92,11 @@ var (
 type exportEntry struct {
 	h    kernel.Handle
 	held map[*session]int
+	// inline is the door's adaptive inline-eligibility state (E20):
+	// promoted doors execute incoming calls directly on the reader
+	// goroutine. Seeded from the door's explicit hint (kernel
+	// Door.SetInline), then driven by observed completion times.
+	inline *dispatch.InlineState
 }
 
 func (e *exportEntry) total() int {
@@ -143,6 +151,41 @@ type Config struct {
 	// "root:<name>/<i>" family; see RootRebinder. Nil means labeled
 	// exports are not recovered.
 	Rebinder func(label string) (kernel.Ref, bool)
+	// Dispatch tunes the server-side dispatch engine (E20): the worker
+	// pool incoming calls execute on, the adaptive inline fast path, and
+	// bounded admission. The zero value takes the documented defaults.
+	Dispatch DispatchConfig
+}
+
+// DispatchConfig sizes the serve-side dispatch engine. Zero fields take
+// the documented defaults; negative values disable the corresponding
+// mechanism where noted.
+type DispatchConfig struct {
+	// Workers is the worker-pool width (and shard count). Default
+	// GOMAXPROCS, clamped to [1, 64].
+	Workers int
+	// MaxInflight caps admitted-and-unreplied calls across the whole
+	// server; past it calls are shed immediately with a retryable
+	// kernel.ErrOverload instead of queueing without bound. Default
+	// 1024; negative means unlimited.
+	MaxInflight int
+	// MaxPerPeer caps admitted calls per peer connection, so one hot
+	// client cannot consume the whole server bound. Default
+	// MaxInflight/2 (0 falls back with MaxInflight); negative means
+	// unlimited.
+	MaxPerPeer int
+	// InlineBudget is how much handler execution time one reader may
+	// spend inline per read batch before falling back to the pool.
+	// Default 200µs; negative disables the inline fast path.
+	InlineBudget time.Duration
+	// InlineThreshold is the completion time under which a handler
+	// counts toward inline promotion (and over which it is demoted).
+	// Default 50µs; negative means nothing is ever promoted.
+	InlineThreshold time.Duration
+	// Disable reverts to the pre-E20 goroutine-per-call serve path (no
+	// engine, no admission bound, no inline path). The E20 bench uses it
+	// as its baseline.
+	Disable bool
 }
 
 // withDefaults is the single defaulting path: every zero field takes its
@@ -172,6 +215,24 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.Transport == nil {
 		cfg.Transport = TCPTransport{}
+	}
+	if !cfg.Dispatch.Disable {
+		if cfg.Dispatch.MaxInflight == 0 {
+			cfg.Dispatch.MaxInflight = 1024
+		}
+		if cfg.Dispatch.MaxPerPeer == 0 {
+			if cfg.Dispatch.MaxInflight > 0 {
+				cfg.Dispatch.MaxPerPeer = cfg.Dispatch.MaxInflight / 2
+			} else {
+				cfg.Dispatch.MaxPerPeer = -1
+			}
+		}
+		if cfg.Dispatch.InlineBudget == 0 {
+			cfg.Dispatch.InlineBudget = 200 * time.Microsecond
+		}
+		if cfg.Dispatch.InlineThreshold == 0 {
+			cfg.Dispatch.InlineThreshold = 50 * time.Microsecond
+		}
 	}
 	return cfg
 }
@@ -215,7 +276,16 @@ func With(cfg Config) Option {
 		if cfg.Rebinder != nil {
 			c.Rebinder = cfg.Rebinder
 		}
+		if cfg.Dispatch != (DispatchConfig{}) {
+			c.Dispatch = cfg.Dispatch
+		}
 	}
+}
+
+// WithDispatch tunes the serve-side dispatch engine (worker pool width,
+// admission bounds, inline fast path).
+func WithDispatch(dc DispatchConfig) Option {
+	return func(c *Config) { c.Dispatch = dc }
 }
 
 // WithTransport selects the transport tier.
@@ -276,6 +346,13 @@ type Server struct {
 	// holding a dead conn (callers re-check liveness) or missing one.
 	connCache sync.Map
 
+	// Serve-side dispatch (E20): eng is the worker pool incoming calls
+	// execute on (nil under Dispatch.Disable — the legacy goroutine per
+	// call), inflight the server-wide admission counter against
+	// cfg.Dispatch.MaxInflight.
+	eng      *dispatch.Engine
+	inflight atomic.Int64
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -333,9 +410,31 @@ func Start(dom *kernel.Domain, listenAddr string, opts ...Option) (*Server, erro
 		labels:        make(map[uint64]string),
 		pendingLabels: make(map[uint64]string),
 	}
+	if !cfg.Dispatch.Disable {
+		// One engine serves the whole server: incoming calls, and the
+		// kernel's unreferenced-notification drains (a mass release
+		// reclaimed off the wire runs on a pool worker instead of its
+		// own goroutine). The per-shard queue bound is belt to the
+		// admission counter's suspenders — admission keeps the queues
+		// under MaxInflight, the bound catches anything that slips by.
+		qlen := 0
+		if cfg.Dispatch.MaxInflight > 0 {
+			qlen = cfg.Dispatch.MaxInflight
+		}
+		s.eng = dispatch.New(dispatch.Config{Workers: cfg.Dispatch.Workers, QueueLen: qlen})
+		dom.Kernel().SetUnrefDispatcher(func(drain func()) {
+			if s.eng.Submit(0, drain) != nil {
+				go drain() // engine closing; fall back to the default
+			}
+		})
+	}
 	if cfg.StateFile != "" {
 		if err := s.loadState(); err != nil {
 			_ = ln.Close()
+			if s.eng != nil {
+				dom.Kernel().SetUnrefDispatcher(nil)
+				s.eng.Close()
+			}
 			return nil, err
 		}
 		// Make the identity durable before serving: a crash before the
@@ -404,6 +503,18 @@ func (s *Server) shutdown() error {
 	for _, c := range conns {
 		c.fail(ErrClosed)
 	}
+	if s.eng != nil {
+		// Restore the kernel's default unref dispatch, then drain the
+		// engine: queued serve tasks observe their dead connections and
+		// reduce to releasing the resources the parked requests carried
+		// (buffers, door refs, bulk-region grants). The drain runs in the
+		// background because a worker may be inside a user handler that
+		// outlives the server — the goroutine-per-call path abandoned such
+		// handlers at Close, and Close must not block on user code now
+		// either.
+		s.dom.Kernel().SetUnrefDispatcher(nil)
+		go s.eng.Close()
+	}
 	s.wg.Wait()
 	return err
 }
@@ -432,6 +543,11 @@ var (
 	spanSend  = trace.Name("netd.send")
 	spanServe = trace.Name("netd.serve")
 	spanReply = trace.Name("netd.reply")
+	// spanDispatchWait brackets a queued call's time in the dispatch
+	// engine's run queue (enqueue → a worker picks it up), separating
+	// queue wait from run time in the trace waterfall. Inline calls
+	// never open it.
+	spanDispatchWait = trace.Name("netd.dispatch.wait")
 )
 
 // ---------------------------------------------------------------------
@@ -463,7 +579,11 @@ func (s *Server) exportSlot(slot buffer.Door, c *conn) (descriptor, error) {
 	key := s.nextKey
 	s.nextKey++
 	doorID := ref.DoorID()
-	s.exports[key] = &exportEntry{h: s.dom.AdoptRef(ref), held: map[*session]int{sess: 1}}
+	ist := &dispatch.InlineState{}
+	if ref.InlineHint() {
+		ist.Promote()
+	}
+	s.exports[key] = &exportEntry{h: s.dom.AdoptRef(ref), held: map[*session]int{sess: 1}, inline: ist}
 	s.byDoor[doorID] = key
 	sess.refs[key] = 1
 	if label, ok := s.pendingLabels[doorID]; ok {
@@ -773,6 +893,8 @@ func (s *Server) parseReply(reply *buffer.Buffer, desc descriptor) (*buffer.Buff
 		return nil, fmt.Errorf("netd: remote door %s/%d: %w", desc.Addr, desc.Key, kernel.ErrDeadlineExceeded)
 	case codeCancelled:
 		return nil, fmt.Errorf("netd: remote door %s/%d: %w", desc.Addr, desc.Key, kernel.ErrCancelled)
+	case codeOverload:
+		return nil, fmt.Errorf("netd: remote door %s/%d shed at admission: %w", desc.Addr, desc.Key, kernel.ErrOverload)
 	default:
 		msg, _ := reply.ReadString()
 		return nil, fmt.Errorf("netd: remote call failed: %s", msg)
@@ -976,8 +1098,18 @@ func (s *Server) serveConn(c *conn, addr string) {
 	// reader drains many frames per read syscall instead of paying two
 	// (header, payload) each.
 	br := bufio.NewReaderSize(c.netc, 64<<10)
+	// budget is the inline fast path's allowance for the current read
+	// batch: handler time spent executing calls directly on this
+	// goroutine. It refills whenever the buffered reader runs dry —
+	// i.e. when the next read would block, so the frames behind us are
+	// not waiting on the handler in front of them.
+	budget := s.cfg.Dispatch.InlineBudget
+	var rel []releasePair // reused across batches by the release coalescer
 loop:
 	for {
+		if br.Buffered() == 0 {
+			budget = s.cfg.Dispatch.InlineBudget
+		}
 		frame, err := readFrame(br)
 		if err != nil {
 			break
@@ -1035,7 +1167,7 @@ loop:
 				s.reply(c, reqID, codeError, nil, err.Error())
 				continue
 			}
-			go s.handleCall(c, reqID, key, req, info)
+			s.dispatchCall(c, reqID, key, req, info, &budget)
 		case msgRelease:
 			if !c.hasSession() {
 				break loop
@@ -1045,8 +1177,16 @@ loop:
 			if err1 != nil || err2 != nil {
 				continue
 			}
+			// A release burst (a dropped proxy tree, a cache eviction
+			// sweep) arrives as consecutive frames in one flush; peel
+			// the whole run off the buffered reader and apply it in a
+			// single locked pass instead of paying s.mu per frame.
+			rel = append(rel[:0], releasePair{key: key, count: int64(count)})
+			rel = coalesceReleases(br, rel)
 			s.mu.Lock()
-			s.releaseLocked(c.sess, key, int(count))
+			for _, r := range rel {
+				s.releaseLocked(c.sess, r.key, int(r.count))
+			}
 			s.mu.Unlock()
 		case msgRoot:
 			if !c.hasSession() {
@@ -1066,11 +1206,118 @@ loop:
 	s.connClosed(c, addr)
 }
 
-// handleCall executes an incoming forwarded door call under the context
-// reconstructed from the wire header, so the exported door sees the
-// caller's remaining budget and trace exactly as a local caller's would
-// look. (The caller-side cancellation channel cannot cross the wire; a
-// cancelled caller simply abandons the reply.)
+// dispatchCall routes one incoming call through the dispatch engine
+// (E20): admission first (server-wide and per-peer in-flight bounds —
+// past either, the call is shed immediately with a retryable overload
+// reply instead of queueing to death), then the inline fast path (a door
+// whose adaptive state proves it non-blocking executes right here on the
+// reader goroutine, spending the batch's inline budget), and otherwise
+// the worker pool, queued at the priority the wire context carried.
+// budget points at the reader's remaining per-batch inline allowance.
+func (s *Server) dispatchCall(c *conn, reqID, key uint64, req *buffer.Buffer, info *kernel.Info, budget *time.Duration) {
+	if s.eng == nil { // Dispatch.Disable: the pre-E20 goroutine per call
+		go s.handleCall(c, reqID, key, req, info)
+		return
+	}
+	if !s.admitServe(c) {
+		s.shed(c, reqID, req)
+		return
+	}
+	s.mu.Lock()
+	e, ok := s.exports[key]
+	s.mu.Unlock()
+	if !ok {
+		s.doneServe(c)
+		kernel.ReleaseBufferDoors(req)
+		buffer.Put(req)
+		s.reply(c, reqID, codeBadKey, nil, "")
+		return
+	}
+	h, ist := e.h, e.inline
+	if *budget > 0 && ist.Eligible() {
+		start := time.Now()
+		s.runCall(c, reqID, h, req, info)
+		d := time.Since(start)
+		*budget -= d
+		ist.Observe(d, s.cfg.Dispatch.InlineThreshold)
+		dispatch.NoteInline()
+		s.doneServe(c)
+		return
+	}
+	var prio int32
+	if info != nil {
+		prio = info.Priority
+	}
+	spWait := trace.Begin(info, spanDispatchWait)
+	err := s.eng.Submit(prio, func() {
+		spWait.End(info, nil)
+		if c.isDead() {
+			// The connection died while the call was parked in the run
+			// queue: there is nobody to reply to, so reduce to releasing
+			// what the request carried — door references, the buffer,
+			// and (through the region-backed Put) any bulk-region grant.
+			kernel.ReleaseBufferDoors(req)
+			buffer.Put(req)
+			s.doneServe(c)
+			return
+		}
+		start := time.Now()
+		s.runCall(c, reqID, h, req, info)
+		ist.Observe(time.Since(start), s.cfg.Dispatch.InlineThreshold)
+		s.doneServe(c)
+	})
+	if err != nil {
+		spWait.End(info, err)
+		s.doneServe(c)
+		if errors.Is(err, dispatch.ErrSaturated) {
+			s.shed(c, reqID, req)
+			return
+		}
+		// Engine closed: the server is going down; no reply will be
+		// deliverable anyway.
+		kernel.ReleaseBufferDoors(req)
+		buffer.Put(req)
+	}
+}
+
+// admitServe claims one admission slot for a call from c, enforcing the
+// server-wide and per-peer in-flight bounds. Every admitted call must be
+// matched by doneServe.
+func (s *Server) admitServe(c *conn) bool {
+	if max := int64(s.cfg.Dispatch.MaxInflight); max > 0 && s.inflight.Add(1) > max {
+		s.inflight.Add(-1)
+		return false
+	} else if max <= 0 {
+		s.inflight.Add(1)
+	}
+	if max := int64(s.cfg.Dispatch.MaxPerPeer); max > 0 && c.inflight.Add(1) > max {
+		c.inflight.Add(-1)
+		s.inflight.Add(-1)
+		return false
+	} else if max <= 0 {
+		c.inflight.Add(1)
+	}
+	return true
+}
+
+// doneServe releases the admission slot admitServe claimed.
+func (s *Server) doneServe(c *conn) {
+	c.inflight.Add(-1)
+	s.inflight.Add(-1)
+}
+
+// shed refuses a call at admission: release what the request carried and
+// answer with the retryable overload code — O(1) work on the reader, no
+// goroutine, no queue entry.
+func (s *Server) shed(c *conn, reqID uint64, req *buffer.Buffer) {
+	dispatch.NoteShed()
+	kernel.ReleaseBufferDoors(req)
+	buffer.Put(req)
+	s.reply(c, reqID, codeOverload, nil, "")
+}
+
+// handleCall is the legacy (Dispatch.Disable) serve path: export lookup
+// plus runCall on a per-call goroutine.
 func (s *Server) handleCall(c *conn, reqID, key uint64, req *buffer.Buffer, info *kernel.Info) {
 	s.mu.Lock()
 	e, ok := s.exports[key]
@@ -1085,6 +1332,17 @@ func (s *Server) handleCall(c *conn, reqID, key uint64, req *buffer.Buffer, info
 		s.reply(c, reqID, codeBadKey, nil, "")
 		return
 	}
+	s.runCall(c, reqID, h, req, info)
+}
+
+// runCall executes an incoming forwarded door call under the context
+// reconstructed from the wire header, so the exported door sees the
+// caller's remaining budget and trace exactly as a local caller's would
+// look. (The caller-side cancellation channel cannot cross the wire; a
+// cancelled caller simply abandons the reply.) It runs wherever the
+// dispatch decision put it: a reader goroutine (inline), a pool worker
+// (queued), or a dedicated goroutine (legacy path).
+func (s *Server) runCall(c *conn, reqID uint64, h kernel.Handle, req *buffer.Buffer, info *kernel.Info) {
 	start := serveStats.Begin()
 	sp := trace.Begin(info, spanServe)
 	out, err := s.dom.CallInfo(h, req, info)
@@ -1115,6 +1373,47 @@ func (s *Server) handleCall(c *conn, reqID, key uint64, req *buffer.Buffer, info
 	kernel.ReleaseBufferDoors(req)
 	buffer.Put(req)
 	buffer.Put(out)
+}
+
+// releasePair is one decoded release frame, for the coalescer.
+type releasePair struct {
+	key   uint64
+	count int64
+}
+
+// coalesceReleases peels consecutive msgRelease frames off the buffered
+// reader without blocking: as long as a complete, well-formed release
+// frame is sitting in the buffer it is decoded and consumed, so a burst
+// of releases (one flush from the peer) collapses into a single pass
+// under the server lock. A frame that is incomplete, not a release, or
+// malformed is left untouched for the main loop.
+func coalesceReleases(br *bufio.Reader, rel []releasePair) []releasePair {
+	for {
+		buffered := br.Buffered()
+		if buffered < 5 {
+			return rel // not even a header + type byte without blocking
+		}
+		hdr, err := br.Peek(5)
+		if err != nil || hdr[4] != msgRelease {
+			return rel
+		}
+		n := int(binary.LittleEndian.Uint32(hdr[:4]))
+		if n < 1+8+1 || 4+n > buffered {
+			return rel // runt release or payload not fully buffered
+		}
+		frame, err := br.Peek(4 + n)
+		if err != nil {
+			return rel
+		}
+		body := frame[5 : 4+n] // after the type byte
+		key := binary.LittleEndian.Uint64(body[:8])
+		count, sz := binary.Uvarint(body[8:])
+		if sz <= 0 || 8+sz != len(body) {
+			return rel // malformed; let the main loop's decoder reject it
+		}
+		_, _ = br.Discard(4 + n)
+		rel = append(rel, releasePair{key: key, count: int64(count)})
+	}
 }
 
 // reply sends a reply frame for reqID.

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/kernel"
 )
 
@@ -219,7 +220,11 @@ func (s *Server) loadState() error {
 			continue
 		}
 		doorID := ref.DoorID()
-		s.exports[pe.Key] = &exportEntry{h: s.dom.AdoptRef(ref), held: held}
+		ist := &dispatch.InlineState{}
+		if ref.InlineHint() {
+			ist.Promote()
+		}
+		s.exports[pe.Key] = &exportEntry{h: s.dom.AdoptRef(ref), held: held, inline: ist}
 		s.byDoor[doorID] = pe.Key
 		s.labels[pe.Key] = pe.Label
 		gExports.Add(1)

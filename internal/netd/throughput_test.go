@@ -12,8 +12,10 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/faultnet"
 	"repro/internal/kernel"
+	"repro/internal/scstats"
 	"repro/internal/sctest"
 	"repro/internal/stubs"
 	"repro/internal/subcontracts/singleton"
@@ -125,6 +127,132 @@ func echoSkel() stubs.Skeleton {
 		results.WriteBytes(p)
 		return nil
 	})
+}
+
+func TestSlowHandlerIsolation(t *testing.T) {
+	// E20 acceptance: a blocking handler must not delay inline-eligible
+	// calls — neither on its own connection nor on sibling connections —
+	// because the inline fast path runs on the reader goroutine, outside
+	// the worker pool the blocker is occupying. The server runs exactly
+	// two workers; both get wedged on a gated door, and echo traffic must
+	// keep flowing through the inline path the whole time.
+	cfgA := quickCfg()
+	cfgA.Dispatch = DispatchConfig{
+		Workers: 2,
+		// A generous threshold makes promotion deterministic: loopback
+		// echo always observes far under 5ms, so eight warm calls promote
+		// regardless of scheduler jitter.
+		InlineThreshold: 5 * time.Millisecond,
+		InlineBudget:    50 * time.Millisecond,
+	}
+	a := newMachineCfg(t, "A", cfgA)
+	cfgB := quickCfg()
+	cfgB.CallTimeout = 30 * time.Second // the gated calls outlive the echo phase
+	b := newMachineCfg(t, "B", cfgB)
+
+	obj, _ := singleton.Export(a.env, stressEchoMT, echoSkel(), nil)
+	a.srv.PublishRoot("echo", obj)
+
+	entered := make(chan struct{}, 2)
+	gate := make(chan struct{})
+	t.Cleanup(func() {
+		select {
+		case <-gate:
+		default:
+			close(gate)
+		}
+	})
+	slow := stubs.SkeletonFunc(func(op core.OpNum, args, results *buffer.Buffer) error {
+		entered <- struct{}{}
+		<-gate
+		return nil
+	})
+	slowObj, _ := singleton.Export(a.env, stressEchoMT, slow, nil)
+	a.srv.PublishRoot("slow", slowObj)
+
+	remote, err := b.srv.ImportRootObject(b.env, a.srv.Addr(), "echo", stressEchoMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteSlow, err := b.srv.ImportRootObject(b.env, a.srv.Addr(), "slow", stressEchoMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the echo door past the promotion streak while the pool is
+	// still free: these run on workers, and their observed durations
+	// promote the door to inline eligibility.
+	for i := 0; i < 4*dispatch.PromoteStreak; i++ {
+		if err := echoBytes(remote, []byte("warm")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Wedge both workers.
+	var slowErrs sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		slowErrs.Add(1)
+		go func() {
+			defer slowErrs.Done()
+			if err := stubs.Call(remoteSlow, 0, nil, nil); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	<-entered
+	<-entered
+
+	// The pool is now fully occupied; only the inline path can serve.
+	inline0 := scstats.GaugeFor("dispatch.inline_hits").Value()
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 20; i++ {
+			if err := echoBytes(remote, []byte("same-conn")); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("inline call alongside a blocking handler: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("inline-eligible calls stuck behind a blocking handler on the same connection")
+	}
+
+	// A sibling connection must be isolated the same way.
+	c := newMachineCfg(t, "C", quickCfg())
+	remoteC, err := c.srv.ImportRootObject(c.env, a.srv.Addr(), "echo", stressEchoMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for i := 0; i < 20; i++ {
+			if err := echoBytes(remoteC, []byte("sibling-conn")); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("inline call from a sibling connection: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sibling connection's calls stuck behind another peer's blocking handler")
+	}
+
+	if d := scstats.GaugeFor("dispatch.inline_hits").Value() - inline0; d < 40 {
+		t.Fatalf("inline fast path served %d of the 40 calls made while the pool was wedged, want all 40", d)
+	}
+
+	close(gate)
+	slowErrs.Wait()
 }
 
 func TestColdDialSingleflight(t *testing.T) {

@@ -91,12 +91,17 @@ const (
 	codeError     = 3
 	codeDeadline  = 4
 	codeCancelled = 5
+	// codeOverload reports the call was shed at admission: the server's
+	// dispatch engine is at its in-flight bound and refused the call
+	// without executing it. Surfaced as kernel.ErrOverload — retryable.
+	codeOverload = 6
 )
 
 // ctx header flag bits.
 const (
 	ctxHasDeadline = 1 << 0
 	ctxHasTrace    = 1 << 1
+	ctxHasPriority = 1 << 2
 )
 
 // putInfoHeader writes the invocation-context header for info.
@@ -114,6 +119,9 @@ func putInfoHeader(out *buffer.Buffer, info *kernel.Info) {
 		if info.Trace != 0 {
 			flags |= ctxHasTrace
 		}
+		if info.Priority != 0 {
+			flags |= ctxHasPriority
+		}
 	}
 	out.WriteByte(flags)
 	if flags&ctxHasDeadline != 0 {
@@ -123,6 +131,11 @@ func putInfoHeader(out *buffer.Buffer, info *kernel.Info) {
 		out.WriteUint64(info.Trace)
 		out.WriteUint64(info.Span)
 		out.WriteUint64(info.Parent)
+	}
+	if flags&ctxHasPriority != 0 {
+		// Zig-zag-free: the int32 rides as its uint32 bit pattern, so
+		// negative priorities survive the uvarint.
+		out.WriteUvarint(uint64(uint32(info.Priority)))
 	}
 }
 
@@ -154,6 +167,13 @@ func getInfoHeader(in *buffer.Buffer) (*kernel.Info, error) {
 		if info.Parent, err = in.ReadUint64(); err != nil {
 			return nil, err
 		}
+	}
+	if flags&ctxHasPriority != 0 {
+		p, err := in.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		info.Priority = int32(uint32(p))
 	}
 	return info, nil
 }

@@ -4,49 +4,32 @@
 // time-critical operations.
 //
 // Work submitted at a higher priority runs before lower-priority work;
-// within a priority level execution is FIFO.
+// within a priority level execution is FIFO. Since E20 the executor is a
+// thin veneer over the shared dispatch engine (internal/dispatch) — the
+// same sharded worker pool the netd serve path and the kernel's
+// unreferenced-notification drain run on — so the old global
+// mutex + heap + sync.Cond is gone. A single-worker executor (what the
+// priority conformance battery saturates) maps to a single-shard engine
+// and keeps the exact strict ordering; wider executors relax global
+// priority order to per-shard order with work stealing, which is the
+// trade the pool makes for scalability.
 package sched
 
 import (
-	"container/heap"
-	"errors"
 	"sync"
+
+	"repro/internal/dispatch"
 )
 
-// ErrClosed is returned by Submit after Close.
-var ErrClosed = errors.New("sched: executor closed")
-
-// item is one queued unit of work.
-type item struct {
-	prio int32
-	seq  uint64
-	run  func()
-}
-
-// queue implements heap.Interface: highest priority first, FIFO within a
-// priority level.
-type queue []item
-
-func (q queue) Len() int { return len(q) }
-func (q queue) Less(i, j int) bool {
-	if q[i].prio != q[j].prio {
-		return q[i].prio > q[j].prio
-	}
-	return q[i].seq < q[j].seq
-}
-func (q queue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *queue) Push(x any)   { *q = append(*q, x.(item)) }
-func (q *queue) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+// ErrClosed is returned by Submit after Close. It is the dispatch
+// engine's closed error, so errors.Is classification holds across both
+// layers.
+var ErrClosed = dispatch.ErrClosed
 
 // Executor runs submitted work on a fixed pool of workers in priority
 // order.
 type Executor struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	q      queue
-	seq    uint64
-	closed bool
-	wg     sync.WaitGroup
+	eng *dispatch.Engine
 }
 
 // NewExecutor starts an executor with the given number of workers.
@@ -54,71 +37,37 @@ func NewExecutor(workers int) *Executor {
 	if workers < 1 {
 		workers = 1
 	}
-	e := &Executor{}
-	e.cond = sync.NewCond(&e.mu)
-	e.wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go e.worker()
-	}
-	return e
-}
-
-func (e *Executor) worker() {
-	defer e.wg.Done()
-	for {
-		e.mu.Lock()
-		for len(e.q) == 0 && !e.closed {
-			e.cond.Wait()
-		}
-		if len(e.q) == 0 && e.closed {
-			e.mu.Unlock()
-			return
-		}
-		it := heap.Pop(&e.q).(item)
-		e.mu.Unlock()
-		it.run()
-	}
+	return &Executor{eng: dispatch.New(dispatch.Config{Workers: workers})}
 }
 
 // Submit enqueues fn at the given priority.
 func (e *Executor) Submit(prio int32, fn func()) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
-		return ErrClosed
-	}
-	e.seq++
-	heap.Push(&e.q, item{prio: prio, seq: e.seq, run: fn})
-	e.cond.Signal()
-	return nil
+	return e.eng.Submit(prio, fn)
 }
+
+// donePool recycles Run's completion channels — a buffered channel is
+// send/receive-paired rather than closed, so it comes back empty and
+// reusable (the same trick as netd's pooled reply channels).
+var donePool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
 
 // Run enqueues fn at prio and waits for it to finish.
 func (e *Executor) Run(prio int32, fn func()) error {
-	done := make(chan struct{})
-	if err := e.Submit(prio, func() {
-		defer close(done)
+	done := donePool.Get().(chan struct{})
+	if err := e.eng.Submit(prio, func() {
 		fn()
+		done <- struct{}{}
 	}); err != nil {
+		donePool.Put(done)
 		return err
 	}
 	<-done
+	donePool.Put(done)
 	return nil
 }
 
 // Queued reports the number of items waiting (not running).
-func (e *Executor) Queued() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.q)
-}
+func (e *Executor) Queued() int { return e.eng.Queued() }
 
 // Close drains the queue and stops the workers, waiting for in-flight and
 // queued work to finish.
-func (e *Executor) Close() {
-	e.mu.Lock()
-	e.closed = true
-	e.cond.Broadcast()
-	e.mu.Unlock()
-	e.wg.Wait()
-}
+func (e *Executor) Close() { e.eng.Close() }

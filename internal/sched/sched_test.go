@@ -129,6 +129,28 @@ func TestSubmitAfterClose(t *testing.T) {
 	}
 }
 
+// Run's completion channel is pooled (the satellite fix riding E20):
+// the steady-state allocation cost is the Submit closure pair, not a
+// fresh channel per call.
+func TestRunAllocs(t *testing.T) {
+	e := NewExecutor(2)
+	defer e.Close()
+	if err := e.Run(0, func() {}); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := e.Run(1, func() {}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Two closures (the user fn wrapper in Run, its capture) and the
+	// queue item's amortized slot; a fresh channel per Run would push
+	// this past 4.
+	if allocs > 3 {
+		t.Fatalf("Run allocates %.1f objects/op, want ≤ 3 (done channel must be pooled)", allocs)
+	}
+}
+
 func TestQueued(t *testing.T) {
 	e := NewExecutor(1)
 	defer e.Close()

@@ -3,7 +3,9 @@ package conformance_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/scstats"
 )
@@ -13,7 +15,11 @@ import (
 // exposition must show nonzero call and latency counters for the core
 // subcontracts. This is the end-to-end proof that the ops-vector
 // instrumentation actually fires on real traffic, not just in unit tests.
+// It also audits goroutine hygiene: the battery starts executors, servers
+// and dispatch engines, and everything it started must have wound down —
+// a serve path that leaks a worker per run fails here, not in production.
 func TestMain(m *testing.M) {
+	baseline := runtime.NumGoroutine()
 	code := m.Run()
 	if code == 0 {
 		if err := auditStats(); err != nil {
@@ -21,7 +27,37 @@ func TestMain(m *testing.M) {
 			code = 1
 		}
 	}
+	if code == 0 {
+		if err := auditGoroutines(baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "goroutine audit after conformance run: %v\n", err)
+			code = 1
+		}
+	}
 	os.Exit(code)
+}
+
+// auditGoroutines polls until the live goroutine count returns to the
+// pre-run baseline (plus slack for the runtime's own background helpers),
+// failing with a full dump if it never does. Abandoned handlers, unclosed
+// executors and leaked dispatch workers all surface here.
+func auditGoroutines(baseline int) error {
+	const slack = 8
+	deadline := time.Now().Add(5 * time.Second)
+	var n int
+	for {
+		n = runtime.NumGoroutine()
+		if n <= baseline+slack {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	return fmt.Errorf("%d goroutines live, want <= baseline %d + %d; stacks:\n%s",
+		n, baseline, slack, buf)
 }
 
 func auditStats() error {

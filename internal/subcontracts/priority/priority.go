@@ -76,12 +76,17 @@ func (o *ops) Copy(obj *core.Object) (*core.Object, error) {
 }
 
 // InvokePreamble writes the caller's priority into the call buffer before
-// the stubs marshal the operation and arguments.
+// the stubs marshal the operation and arguments, and mirrors it into the
+// invocation context so every dispatch layer along the path — the netd
+// serve engine on the far machine included — queues the call at the same
+// priority the server-side executor will run it at.
 func (o *ops) InvokePreamble(obj *core.Object, call *core.Call) error {
 	if err := obj.CheckLive(); err != nil {
 		return err
 	}
-	call.Args().WriteInt32(CurrentPriority(obj.Env))
+	p := CurrentPriority(obj.Env)
+	call.Args().WriteInt32(p)
+	call.Info().Priority = p
 	return nil
 }
 
