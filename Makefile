@@ -20,7 +20,7 @@ tier2: faults crash bench-quick obs
 # transport-tier (negotiation, fallback, bulk hand-off teardown) tests
 # across netd and the subcontracts, under the race detector.
 faults:
-	go test -race -run 'Lease|Partition|Breaker|Fault|Sever|Truncat|Kill|Refus|Hung|Dead|Replay|Heartbeat|Reclaim|Negotiat|Fallback|Handoff|Teardown' \
+	go test -race -run 'Lease|Partition|Breaker|Fault|Sever|Truncat|Kill|Refus|Hung|Dead|Replay|Heartbeat|Reclaim|Negotiat|Fallback|Handoff|Teardown|Stripe' \
 		./internal/faultnet/ ./internal/netd/ ./internal/integration/
 
 # The E19 crash suite: SIGKILL the durable server mid-write-load and
@@ -31,16 +31,18 @@ crash:
 	go test -race -run 'KillRestart|RestartRecovers|RestartRejoins|StateFile|CorruptState|FirstBoot|WAL|Snapshot|SaveFile' \
 		./internal/integration/ ./internal/netd/ ./internal/filesys/
 
-# The E15/E18 throughput sweeps (parallelism × payload, over loopback
-# TCP and over the same-machine transport tier) and the E16 local-path
-# sweep (null door calls, refcount churn, cache-hit mixes), recorded as
-# JSON. Existing baselines in BENCH_netd.json / BENCH_cache.json are
-# preserved, so each file carries before/after numbers across
-# optimization PRs.
+# The E15/E18/E21 throughput sweeps (parallelism × payload, over
+# loopback TCP, the same-machine transport tier, and the striped client
+# engine) and the E16 local-path sweep (null door calls, refcount churn,
+# cache-hit mixes), recorded as JSON. The netd sweep runs -count=3 and
+# benchjson collapses the repeats to per-cell medians. Existing
+# baselines in BENCH_netd.json / BENCH_cache.json are preserved, so
+# each file carries before/after numbers across optimization PRs.
 bench:
-	go test -run NONE -bench 'E15|E18' -benchmem -benchtime 2s . | tee /tmp/bench_netd.out
-	go run ./cmd/benchjson -experiment 'E15/E18 netd throughput: loopback TCP vs negotiated same-machine tier (unix+shm)' \
-		-note 'one run, shared host: the P1 latency cells swing ±40% day to day; compare E18 vs E15 within a run, and 64KiB cells against the baseline array' \
+	go test -run NONE -bench 'E15|E18' -benchmem -benchtime 2s -count=3 . | tee /tmp/bench_netd.out
+	go test -run NONE -bench 'E21' -benchmem -benchtime 1s -count=3 . | tee -a /tmp/bench_netd.out
+	go run ./cmd/benchjson -experiment 'E15/E18/E21 netd throughput: loopback TCP vs same-machine tier vs striped client engine' \
+		-note 'per-cell medians of 3 runs on a shared host; compare E18/E21 vs E15 within a run, and 64KiB cells against the baseline array; on a one-CPU host stripes>1 splits the writer batches without adding send capacity, so the S1 column is the fast one there — the stripe sweep is the artifact for multi-core hosts' \
 		-o BENCH_netd.json < /tmp/bench_netd.out
 	go test -run NONE -bench 'E16' -benchmem . | tee /tmp/bench_e16.out
 	go run ./cmd/benchjson -experiment 'E16 lock-free local door path + scalable cache manager (intra-machine)' \
@@ -59,7 +61,7 @@ bench:
 
 # One-iteration smoke: the benchmarks still compile and run.
 bench-quick:
-	go test -run NONE -bench 'E15|E16|E17|E18|E19|E20' -benchtime 1x .
+	go test -run NONE -bench 'E15|E16|E17|E18|E19|E20|E21_Striped_S[28]_P8_0B|E21_MixedHoL' -benchtime 1x .
 
 bench-all:
 	go test -bench=. -benchmem

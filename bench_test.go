@@ -138,13 +138,13 @@ func BenchmarkE17_Traced_Sampled_P64(b *testing.B)   { bench.E17TracedCall("samp
 // parallelism ∈ {1, 64} writers × fsync batch cap ∈ {1, 8, 64, 256},
 // plus the in-memory (no WAL) baseline. `make bench` records this
 // sweep in BENCH_wal.json.
-func BenchmarkE19_InMemoryWrite_P1(b *testing.B)       { bench.E19DurableWrite(1, 0)(b) }
-func BenchmarkE19_InMemoryWrite_P64(b *testing.B)      { bench.E19DurableWrite(64, 0)(b) }
-func BenchmarkE19_DurableWrite_P1_B256(b *testing.B)   { bench.E19DurableWrite(1, 256)(b) }
-func BenchmarkE19_DurableWrite_P64_B1(b *testing.B)    { bench.E19DurableWrite(64, 1)(b) }
-func BenchmarkE19_DurableWrite_P64_B8(b *testing.B)    { bench.E19DurableWrite(64, 8)(b) }
-func BenchmarkE19_DurableWrite_P64_B64(b *testing.B)   { bench.E19DurableWrite(64, 64)(b) }
-func BenchmarkE19_DurableWrite_P64_B256(b *testing.B)  { bench.E19DurableWrite(64, 256)(b) }
+func BenchmarkE19_InMemoryWrite_P1(b *testing.B)      { bench.E19DurableWrite(1, 0)(b) }
+func BenchmarkE19_InMemoryWrite_P64(b *testing.B)     { bench.E19DurableWrite(64, 0)(b) }
+func BenchmarkE19_DurableWrite_P1_B256(b *testing.B)  { bench.E19DurableWrite(1, 256)(b) }
+func BenchmarkE19_DurableWrite_P64_B1(b *testing.B)   { bench.E19DurableWrite(64, 1)(b) }
+func BenchmarkE19_DurableWrite_P64_B8(b *testing.B)   { bench.E19DurableWrite(64, 8)(b) }
+func BenchmarkE19_DurableWrite_P64_B64(b *testing.B)  { bench.E19DurableWrite(64, 64)(b) }
+func BenchmarkE19_DurableWrite_P64_B256(b *testing.B) { bench.E19DurableWrite(64, 256)(b) }
 
 // E10 — §6.1/§6.2: compatible-subcontract discovery, cold vs warm.
 func BenchmarkE10_Discovery_Cold(b *testing.B) { bench.E10DiscoveryCold(b) }
@@ -184,3 +184,46 @@ func BenchmarkE20_Serve_Spawn_P64_0B(b *testing.B)  { bench.E20Serve("spawn", 64
 func BenchmarkE20_Blocking_Engine_P64(b *testing.B) { bench.E20Blocking("engine", 64)(b) }
 func BenchmarkE20_Blocking_Spawn_P64(b *testing.B)  { bench.E20Blocking("spawn", 64)(b) }
 func BenchmarkE20_Overload_4x(b *testing.B)         { bench.E20Overload(4)(b) }
+
+// E21 — striped client call engine: the E15 workload re-run with the
+// client dialling stripes ∈ {1, 2, 8} connections per peer (stripes=1
+// is the within-run baseline on the future-based engine), plus the
+// MixedHoL cells where two 64KiB bulk callers interfere with small
+// calls — with stripes > 1 the bulk traffic rides its dedicated stripe
+// and the small-call p99 should stop paying for it. `make bench`
+// records this sweep (medians of 3 runs) in BENCH_netd.json.
+func BenchmarkE21_Striped_S1_P1_0B(b *testing.B)    { bench.E21Striped(1, 1, 0)(b) }
+func BenchmarkE21_Striped_S1_P1_1KiB(b *testing.B)  { bench.E21Striped(1, 1, 1024)(b) }
+func BenchmarkE21_Striped_S1_P1_64KiB(b *testing.B) { bench.E21Striped(1, 1, 65536)(b) }
+func BenchmarkE21_Striped_S1_P8_0B(b *testing.B)    { bench.E21Striped(1, 8, 0)(b) }
+func BenchmarkE21_Striped_S1_P8_1KiB(b *testing.B)  { bench.E21Striped(1, 8, 1024)(b) }
+func BenchmarkE21_Striped_S1_P8_64KiB(b *testing.B) { bench.E21Striped(1, 8, 65536)(b) }
+func BenchmarkE21_Striped_S1_P64_0B(b *testing.B)   { bench.E21Striped(1, 64, 0)(b) }
+func BenchmarkE21_Striped_S1_P64_1KiB(b *testing.B) { bench.E21Striped(1, 64, 1024)(b) }
+func BenchmarkE21_Striped_S1_P64_64KiB(b *testing.B) {
+	bench.E21Striped(1, 64, 65536)(b)
+}
+func BenchmarkE21_Striped_S2_P1_0B(b *testing.B)    { bench.E21Striped(2, 1, 0)(b) }
+func BenchmarkE21_Striped_S2_P1_1KiB(b *testing.B)  { bench.E21Striped(2, 1, 1024)(b) }
+func BenchmarkE21_Striped_S2_P1_64KiB(b *testing.B) { bench.E21Striped(2, 1, 65536)(b) }
+func BenchmarkE21_Striped_S2_P8_0B(b *testing.B)    { bench.E21Striped(2, 8, 0)(b) }
+func BenchmarkE21_Striped_S2_P8_1KiB(b *testing.B)  { bench.E21Striped(2, 8, 1024)(b) }
+func BenchmarkE21_Striped_S2_P8_64KiB(b *testing.B) { bench.E21Striped(2, 8, 65536)(b) }
+func BenchmarkE21_Striped_S2_P64_0B(b *testing.B)   { bench.E21Striped(2, 64, 0)(b) }
+func BenchmarkE21_Striped_S2_P64_1KiB(b *testing.B) { bench.E21Striped(2, 64, 1024)(b) }
+func BenchmarkE21_Striped_S2_P64_64KiB(b *testing.B) {
+	bench.E21Striped(2, 64, 65536)(b)
+}
+func BenchmarkE21_Striped_S8_P1_0B(b *testing.B)    { bench.E21Striped(8, 1, 0)(b) }
+func BenchmarkE21_Striped_S8_P1_1KiB(b *testing.B)  { bench.E21Striped(8, 1, 1024)(b) }
+func BenchmarkE21_Striped_S8_P1_64KiB(b *testing.B) { bench.E21Striped(8, 1, 65536)(b) }
+func BenchmarkE21_Striped_S8_P8_0B(b *testing.B)    { bench.E21Striped(8, 8, 0)(b) }
+func BenchmarkE21_Striped_S8_P8_1KiB(b *testing.B)  { bench.E21Striped(8, 8, 1024)(b) }
+func BenchmarkE21_Striped_S8_P8_64KiB(b *testing.B) { bench.E21Striped(8, 8, 65536)(b) }
+func BenchmarkE21_Striped_S8_P64_0B(b *testing.B)   { bench.E21Striped(8, 64, 0)(b) }
+func BenchmarkE21_Striped_S8_P64_1KiB(b *testing.B) { bench.E21Striped(8, 64, 1024)(b) }
+func BenchmarkE21_Striped_S8_P64_64KiB(b *testing.B) {
+	bench.E21Striped(8, 64, 65536)(b)
+}
+func BenchmarkE21_MixedHoL_S1(b *testing.B) { bench.E21MixedHoL(1)(b) }
+func BenchmarkE21_MixedHoL_S8(b *testing.B) { bench.E21MixedHoL(8)(b) }

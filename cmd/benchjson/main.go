@@ -1,6 +1,8 @@
 // Command benchjson converts `go test -bench -benchmem` output on stdin
 // into a JSON benchmark record, preserving a baseline across runs so the
-// file carries before/after numbers.
+// file carries before/after numbers. Repeated names (a -count=N run) are
+// collapsed to per-metric medians, so recorded cells resist scheduler
+// noise.
 //
 // Usage:
 //
@@ -20,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -73,7 +76,64 @@ func parse(lines []string) []Result {
 		}
 		results = append(results, r)
 	}
-	return results
+	return aggregate(results)
+}
+
+// aggregate collapses repeated benchmark names (a -count=N run) into one
+// result per name carrying the per-metric median, so the recorded cells
+// are stable against scheduler noise instead of whichever run came last.
+// Order of first appearance is preserved. Iters is the median too
+// (rounded), purely informational.
+func aggregate(results []Result) []Result {
+	byName := map[string][]Result{}
+	var order []string
+	for _, r := range results {
+		if _, seen := byName[r.Name]; !seen {
+			order = append(order, r.Name)
+		}
+		byName[r.Name] = append(byName[r.Name], r)
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		runs := byName[name]
+		if len(runs) == 1 {
+			out = append(out, runs[0])
+			continue
+		}
+		agg := Result{Name: name, Metrics: map[string]float64{}}
+		var iters []float64
+		keys := map[string]struct{}{}
+		for _, r := range runs {
+			iters = append(iters, float64(r.Iters))
+			for k := range r.Metrics {
+				keys[k] = struct{}{}
+			}
+		}
+		agg.Iters = int64(median(iters))
+		for k := range keys {
+			var vals []float64
+			for _, r := range runs {
+				if v, ok := r.Metrics[k]; ok {
+					vals = append(vals, v)
+				}
+			}
+			agg.Metrics[k] = median(vals)
+		}
+		out = append(out, agg)
+	}
+	return out
+}
+
+func median(vals []float64) float64 {
+	sort.Float64s(vals)
+	n := len(vals)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
 }
 
 func main() {

@@ -35,6 +35,10 @@ var (
 		"dispatch pool workers for the E20 engine cells (0 = GOMAXPROCS, capped at 64)")
 	dispatchInflight = flag.Int("dispatch-inflight", 0,
 		"in-flight admission bound for the E20 engine cells (0 = default 1024)")
+	stripes = flag.Int("stripes", 8,
+		"client connections per peer for the E21 striped cells (the stripes=1 baseline always runs)")
+	mixed = flag.Bool("mixed", false,
+		"run only the E21 mixed small+bulk head-of-line workload (with -stripes) and exit")
 )
 
 // run executes one experiment body under the testing benchmark driver.
@@ -72,6 +76,18 @@ func main() {
 		if err := flag.Set("test.benchtime", "100x"); err != nil {
 			fmt.Println("note:", err)
 		}
+	}
+	if *mixed {
+		// The head-of-line cell on its own, for quick flush/stripe tuning:
+		// two 64KiB bulk callers interfere with 8 small callers; compare
+		// the p99 at -stripes 1 vs -stripes N.
+		section(fmt.Sprintf("E21 mixed small+bulk head-of-line workload (stripes=1 vs stripes=%d)", *stripes))
+		run("small calls under bulk load, 1 stripe", bench.E21MixedHoL(1))
+		if *stripes > 1 {
+			run(fmt.Sprintf("small calls under bulk load, %d stripes", *stripes), bench.E21MixedHoL(*stripes))
+		}
+		fmt.Println("\ndone.")
+		return
 	}
 	fmt.Println("subcontract experiment suite (paper: SMLI TR-93-13, SOSP 1993)")
 	fmt.Println("each experiment id matches DESIGN.md §4 and EXPERIMENTS.md")
@@ -216,6 +232,20 @@ func main() {
 	run("offered load 4x the admission bound", bench.E20Overload(4))
 	fmt.Printf("  => the dispatch engine serves 64-way traffic %.1fx faster than goroutine-per-call\n",
 		nsPerOp(spawn64)/nsPerOp(eng64))
+
+	section(fmt.Sprintf("E21 striped client call engine (0B echo; stripes=1 vs stripes=%d)", *stripes))
+	s1 := run("64 callers, 1 stripe", bench.E21Striped(1, 64, 0))
+	sN := s1
+	if *stripes > 1 {
+		sN = run(fmt.Sprintf("64 callers, %d stripes", *stripes), bench.E21Striped(*stripes, 64, 0))
+		run(fmt.Sprintf("8 callers, %d stripes", *stripes), bench.E21Striped(*stripes, 8, 0))
+	}
+	run("small calls under bulk load, 1 stripe", bench.E21MixedHoL(1))
+	if *stripes > 1 {
+		run(fmt.Sprintf("small calls under bulk load, %d stripes", *stripes), bench.E21MixedHoL(*stripes))
+	}
+	fmt.Printf("  => striping the peer connection serves 64-way traffic %.1fx faster than one conn\n",
+		nsPerOp(s1)/nsPerOp(sN))
 
 	if *stats {
 		fmt.Println("\nper-subcontract metrics (scstats)")

@@ -149,6 +149,15 @@ func render(w *os.File, cur, prev *scrape, elapsed time.Duration, asRates bool) 
 			r.name, calls, errs, retries, errPct, hitPct, meanLat)
 	}
 
+	// One-line netd link summary: sockets vs stripes vs peer sessions.
+	// With a striped client (E21) conns > sessions is the normal shape —
+	// stripes_live counts the per-peer sockets, sessions_live the peers.
+	if stripes, ok := cur.gauges["netd_stripes_live"]; ok {
+		fmt.Fprintf(w, "\nnetd link: CONNS %g  STRIPES %g  SESSIONS %g  SENDQ %g\n",
+			cur.gauges["netd_conns_live"], stripes,
+			cur.gauges["netd_sessions_live"], cur.gauges["netd_sendq_depth"])
+	}
+
 	// A footer of the liveness gauges, when present in the scrape.
 	if len(cur.gauges) > 0 {
 		fmt.Fprintln(w)

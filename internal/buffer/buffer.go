@@ -151,6 +151,41 @@ func FromParts(data []byte, doors []Door) *Buffer {
 	return &Buffer{data: data, doors: doors}
 }
 
+// shellPool recycles the transient Buffer structs handed out by Wrap. It
+// is deliberately separate from Get's pool: those buffers retain marshal
+// storage across uses, while a shell never owns its bytes — mixing the
+// two would drain the armed buffers' storage guarantee.
+var shellPool = sync.Pool{New: func() any { return &Buffer{} }}
+
+// Wrap is the pooled counterpart of FromParts: it adopts data and doors
+// without copying, for byte streams that already exist (netd's inbound
+// frames). Release the struct with PutShell once it is dead; the adopted
+// slices are never retained, so they may be aliased by payload buffers
+// that outlive the shell.
+func Wrap(data []byte, doors []Door) *Buffer {
+	b := shellPool.Get().(*Buffer)
+	b.data = data
+	b.doors = doors
+	return b
+}
+
+// PutShell returns a Wrap'd buffer to the shell pool (nil is a no-op),
+// dropping — not retaining — every reference it carried. Unlike Put this
+// is safe when the byte stream is still live elsewhere: a reply payload
+// built over an inbound frame keeps reading those bytes after the frame's
+// shell is recycled.
+func PutShell(b *Buffer) {
+	if b == nil {
+		return
+	}
+	if r := b.region; r != nil {
+		b.region = nil
+		r.Release()
+	}
+	*b = Buffer{}
+	shellPool.Put(b)
+}
+
 // Bytes returns the full byte stream written so far.
 func (b *Buffer) Bytes() []byte { return b.data }
 

@@ -146,6 +146,24 @@ func (n *Net) KillAfterWrites(k int) {
 	n.mu.Unlock()
 }
 
+// KillOne hard-closes one live wrapped connection (any one) and reports
+// whether there was one to kill — a single-stripe loss, as opposed to
+// CloseAll's full crash.
+func (n *Net) KillOne() bool {
+	n.mu.Lock()
+	var victim *Conn
+	for c := range n.conns {
+		victim = c
+		break
+	}
+	n.mu.Unlock()
+	if victim == nil {
+		return false
+	}
+	_ = victim.Close()
+	return true
+}
+
 // CloseAll hard-closes every live wrapped connection — an ungraceful
 // crash: no releases, no FIN ordering guarantees above the socket.
 func (n *Net) CloseAll() {

@@ -21,6 +21,7 @@ import (
 // queued) move both ways; the rest are monotonic event counts.
 var (
 	gConns            = scstats.GaugeFor("netd.conns_live")
+	gStripes          = scstats.GaugeFor("netd.stripes_live")
 	gSessions         = scstats.GaugeFor("netd.sessions_live")
 	gExports          = scstats.GaugeFor("netd.exports_live")
 	gLeasesExpired    = scstats.GaugeFor("netd.leases_expired")
@@ -62,6 +63,7 @@ type session struct {
 	addr      string         // remote's advertised listen address ("" if none)
 	refs      map[uint64]int // export key → references held by this peer
 	conns     map[*conn]struct{}
+	hb        *conn     // designated heartbeat stripe (E21); nil until a hello
 	downSince time.Time // zero while at least one connection is live
 	expired   bool      // set when the lease lapses; rejects late exports
 }
@@ -213,6 +215,9 @@ func (s *Server) handleHello(c *conn, instance, epoch uint64, listenAddr string,
 		sess.addr = listenAddr
 	}
 	sess.conns[c] = struct{}{}
+	if sess.hb == nil || sess.hb.isDead() {
+		sess.hb = c // heartbeats for the whole stripe set ride this conn
+	}
 	sess.downSince = time.Time{}
 	s.markDirtyLocked()
 	c.mu.Lock() // s.mu → c.mu, the order getConn uses via isDead
@@ -246,8 +251,23 @@ func (s *Server) sendHello(c *conn, epoch uint64) error {
 func (s *Server) connClosed(c *conn, addr string) {
 	c.fail(commErr("connection lost"))
 	s.mu.Lock()
-	if addr != "" && s.conns[addr] == c {
-		delete(s.conns, addr)
+	if addr != "" {
+		if ss, ok := s.conns[addr]; ok {
+			if ss.remove(c) {
+				ss.counted--
+				gStripes.Add(-1)
+			}
+			// A lost stripe degrades the set; healAt=0 makes the very next
+			// call's slow-path visit redial the missing width.
+			ss.degraded.Store(true)
+			ss.healAt.Store(0)
+			if len(ss.live()) == 0 {
+				delete(s.conns, addr)
+				s.connCache.Delete(addr)
+				gStripes.Add(int64(-ss.counted)) // residue from publish races
+				ss.counted = 0
+			}
+		}
 	}
 	if _, ok := s.allConns[c]; ok {
 		delete(s.allConns, c)
@@ -255,6 +275,15 @@ func (s *Server) connClosed(c *conn, addr string) {
 	}
 	if sess := c.sess; sess != nil {
 		delete(sess.conns, c)
+		if sess.hb == c {
+			sess.hb = nil
+			for sc := range sess.conns {
+				if !sc.isDead() {
+					sess.hb = sc // hand the heartbeat duty to a survivor
+					break
+				}
+			}
+		}
 		if len(sess.conns) == 0 && sess.downSince.IsZero() {
 			sess.downSince = time.Now()
 		}
@@ -264,7 +293,16 @@ func (s *Server) connClosed(c *conn, addr string) {
 		pa = addr
 	}
 	if pa != "" {
-		if live, ok := s.conns[pa]; !ok || live == c || live.isDead() {
+		down := true
+		if ss, ok := s.conns[pa]; ok {
+			for _, lc := range ss.live() {
+				if lc != c && !lc.isDead() {
+					down = false // a surviving stripe keeps the peer up
+					break
+				}
+			}
+		}
+		if down {
 			p := s.peerLocked(pa)
 			if p.downSince.IsZero() {
 				p.downSince = time.Now()
@@ -315,18 +353,43 @@ func (s *Server) sweeper() {
 }
 
 // heartbeat pings connections idle on the send side and kills those
-// silent on the receive side past the grace period.
+// silent on the receive side past the grace period. Stripes share their
+// session's liveness clock: silence is judged on the session's freshest
+// receive across all stripes (an idle non-lead stripe is not a dead
+// peer), and only the designated heartbeat stripe — or a sessionless
+// conn still mid-handshake — sends pings.
 func (s *Server) heartbeat(now time.Time) {
+	type hbConn struct {
+		c    *conn
+		sess *session
+		lead bool
+	}
 	s.mu.Lock()
-	conns := make([]*conn, 0, len(s.allConns))
+	conns := make([]hbConn, 0, len(s.allConns))
+	sessRecv := make(map[*session]int64, len(s.sessions))
 	for c := range s.allConns {
-		conns = append(conns, c)
+		sess := c.sess
+		lead := sess == nil || sess.hb == nil || sess.hb == c
+		conns = append(conns, hbConn{c: c, sess: sess, lead: lead})
+		if sess != nil {
+			if r := c.lastRecv.Load(); r > sessRecv[sess] {
+				sessRecv[sess] = r
+			}
+		}
 	}
 	s.mu.Unlock()
-	for _, c := range conns {
-		silent := now.Sub(time.Unix(0, c.lastRecv.Load()))
+	for _, hc := range conns {
+		c := hc.c
+		recv := c.lastRecv.Load()
+		if hc.sess != nil {
+			recv = sessRecv[hc.sess]
+		}
+		silent := now.Sub(time.Unix(0, recv))
 		if silent > s.cfg.LeaseGrace {
 			c.fail(commErr("peer silent for %v (heartbeat grace %v)", silent.Round(time.Millisecond), s.cfg.LeaseGrace))
+			continue
+		}
+		if !hc.lead {
 			continue
 		}
 		idle := now.Sub(time.Unix(0, c.lastSend.Load()))
@@ -419,7 +482,7 @@ func (s *Server) replayQueued() {
 	}
 	s.mu.Unlock()
 	for _, addr := range addrs {
-		c, err := s.getConn(addr)
+		c, err := s.getConn(addr, false)
 		if err != nil {
 			continue
 		}

@@ -55,9 +55,11 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"repro/internal/buffer"
 	"repro/internal/core"
@@ -136,6 +138,17 @@ type Config struct {
 	// Default 8KiB (below it the grant bookkeeping costs more than the
 	// copy it saves).
 	BulkThreshold int
+	// Stripes is the number of connections dialled per peer address
+	// (E21): one writer goroutine and one socket per stripe, so pipelined
+	// callers stop serializing behind a single stream. Calls are routed
+	// across the stripes by a cheap per-goroutine hash; when more than
+	// one stripe is live the last is dedicated to bulk payloads
+	// (≥ BulkThreshold), so a large transfer cannot head-of-line block
+	// small calls. All stripes to one peer share one hello-derived
+	// session — leases, heartbeats and netd.sessions_live count peers,
+	// not connections. Default GOMAXPROCS/2 clamped to [1, 8]; 1
+	// preserves the single-connection behavior exactly.
+	Stripes int
 	// Transport supplies the listener, dialer and capability set
 	// (transport tiers, fault injection). Nil defaults to TCPTransport.
 	Transport Transport
@@ -213,6 +226,14 @@ func (cfg Config) withDefaults() Config {
 	if cfg.BulkThreshold == 0 {
 		cfg.BulkThreshold = 8 << 10
 	}
+	if cfg.Stripes == 0 {
+		cfg.Stripes = runtime.GOMAXPROCS(0) / 2
+	}
+	if cfg.Stripes < 1 {
+		cfg.Stripes = 1
+	} else if cfg.Stripes > 8 {
+		cfg.Stripes = 8
+	}
 	if cfg.Transport == nil {
 		cfg.Transport = TCPTransport{}
 	}
@@ -267,6 +288,9 @@ func With(cfg Config) Option {
 		if cfg.BulkThreshold != 0 {
 			c.BulkThreshold = cfg.BulkThreshold
 		}
+		if cfg.Stripes != 0 {
+			c.Stripes = cfg.Stripes
+		}
 		if cfg.Transport != nil {
 			c.Transport = cfg.Transport
 		}
@@ -293,6 +317,9 @@ func WithTransport(t Transport) Option { return func(c *Config) { c.Transport = 
 
 // WithBulkThreshold sets the bulk hand-off threshold in bytes.
 func WithBulkThreshold(n int) Option { return func(c *Config) { c.BulkThreshold = n } }
+
+// WithStripes sets the number of connections dialled per peer address.
+func WithStripes(n int) Option { return func(c *Config) { c.Stripes = n } }
 
 // WithStateFile makes the server durable: its session/lease table and
 // labeled exports persist to path, and a restart against the same path
@@ -326,9 +353,9 @@ type Server struct {
 	nextKey   uint64
 	nextEpoch uint64
 	roots     map[string]*core.Object
-	conns     map[string]*conn       // dialled, pooled by address
+	conns     map[string]*stripeSet  // dialled stripe sets, pooled by address
 	allConns  map[*conn]struct{}     // every live connection, for teardown
-	dialing   map[string]*dialFlight // singleflight: one dial per address
+	dialing   map[string]*dialFlight // singleflight: one dial/heal per address
 	sessions  map[uint64]*session    // peer instance → lease session
 	peers     map[string]*peerState
 	closed    bool
@@ -343,7 +370,8 @@ type Server struct {
 
 	// connCache mirrors conns for the lock-free forward fast path; it is
 	// maintained under mu at every conns mutation and may only lag by
-	// holding a dead conn (callers re-check liveness) or missing one.
+	// holding a stripe set with dead conns (pick skips them) or missing
+	// one.
 	connCache sync.Map
 
 	// Serve-side dispatch (E20): eng is the worker pool incoming calls
@@ -357,13 +385,106 @@ type Server struct {
 	wg   sync.WaitGroup
 }
 
-// dialFlight is one in-progress dial that concurrent callers for the
-// same address wait on instead of dialling themselves (and instead of
-// each reporting a spurious outcome to the circuit breaker).
+// dialFlight is one in-progress dial (or stripe-set heal) that concurrent
+// callers for the same address wait on instead of dialling themselves
+// (and instead of each reporting a spurious outcome to the circuit
+// breaker).
 type dialFlight struct {
-	done chan struct{} // closed once c/err are set
-	c    *conn
+	done chan struct{} // closed once ss/err are set
+	ss   *stripeSet
 	err  error
+}
+
+// stripeSet is the dialled connection group for one peer address (E21).
+// The live slice is copy-on-write: heals publish a new slice, connClosed
+// removes dead members, and readers route lock-free through pick. When
+// more than one stripe is live the last is the dedicated bulk stripe;
+// positions do not persist across heals. All members share the peer's
+// one hello-derived session.
+type stripeSet struct {
+	addr string
+	want int // Config.Stripes at creation
+
+	// conns is the published live-stripe slice; mutations happen under
+	// Server.mu, loads are lock-free.
+	conns atomic.Pointer[[]*conn]
+	// degraded marks the set as missing stripes; the next forward that
+	// reaches the slow path heals it. healAt rate-limits heal attempts
+	// that could not complete the set (unix nanos before which healing
+	// is suppressed and the live remainder serves alone).
+	degraded atomic.Bool
+	healAt   atomic.Int64
+	// counted is the number of stripes reflected in the netd.stripes_live
+	// gauge for this set; guarded by Server.mu. It can transiently
+	// overcount by a stripe that died in the instant between dialling
+	// and publication — the next heal recomputes it.
+	counted int
+}
+
+// live returns the current published stripe slice (possibly containing
+// conns that died since publication; pick skips those).
+func (ss *stripeSet) live() []*conn {
+	if p := ss.conns.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// pick routes one call to a stripe: bulk payloads go to the dedicated
+// last stripe, small calls spread over the rest by a per-goroutine hash —
+// so concurrent callers fan out across sockets while one goroutine's
+// pipelined calls stay FIFO on one stripe. Dead stripes are skipped by
+// linear probe; nil means no live stripe remains.
+func (ss *stripeSet) pick(bulk bool) *conn {
+	conns := ss.live()
+	n := len(conns)
+	if n == 0 {
+		return nil
+	}
+	var i int
+	switch {
+	case n == 1:
+		// A lone stripe carries everything (Stripes=1, or a degraded set
+		// down to its last conn).
+	case bulk:
+		i = n - 1
+	default:
+		i = int(goroutineHint() % uint64(n-1))
+	}
+	for j := 0; j < n; j++ {
+		if c := conns[(i+j)%n]; !c.isDead() {
+			return c
+		}
+	}
+	return nil
+}
+
+// remove drops c from the published slice, reporting whether it was
+// present. Callers hold Server.mu.
+func (ss *stripeSet) remove(c *conn) bool {
+	cur := ss.live()
+	for i, cc := range cur {
+		if cc == c {
+			next := make([]*conn, 0, len(cur)-1)
+			next = append(next, cur[:i]...)
+			next = append(next, cur[i+1:]...)
+			ss.conns.Store(&next)
+			return true
+		}
+	}
+	return false
+}
+
+// goroutineHint derives a cheap per-goroutine routing value from the
+// address of a stack local: goroutine stacks are disjoint, so concurrent
+// callers spread across stripes, while one goroutine's pipelined calls
+// tend to stay on one stripe (a stack move can migrate it; correctness
+// does not depend on stability — request ids are per-conn).
+func goroutineHint() uint64 {
+	var x byte
+	h := uint64(uintptr(unsafe.Pointer(&x)))
+	h *= 0x9E3779B97F4A7C15 // fibonacci mix: stack addresses share low bits
+	return h >> 33
 }
 
 // Start launches a network door server for dom's kernel, listening on
@@ -400,7 +521,7 @@ func Start(dom *kernel.Domain, listenAddr string, opts ...Option) (*Server, erro
 		byDoor:    make(map[uint64]uint64),
 		nextKey:   1,
 		roots:     make(map[string]*core.Object),
-		conns:     make(map[string]*conn),
+		conns:     make(map[string]*stripeSet),
 		allConns:  make(map[*conn]struct{}),
 		dialing:   make(map[string]*dialFlight),
 		sessions:  make(map[uint64]*session),
@@ -489,7 +610,11 @@ func (s *Server) shutdown() error {
 		gReleasesQueued.Add(int64(-len(p.queue)))
 		p.queue = nil
 	}
-	s.conns = make(map[string]*conn)
+	for _, ss := range s.conns {
+		gStripes.Add(int64(-ss.counted))
+		ss.counted = 0
+	}
+	s.conns = make(map[string]*stripeSet)
 	s.allConns = make(map[*conn]struct{})
 	s.sessions = make(map[uint64]*session)
 	s.connCache.Range(func(k, _ any) bool {
@@ -735,8 +860,11 @@ func (s *Server) release(desc descriptor, p *peerState, epoch uint64, count int)
 		s.mu.Unlock()
 		return
 	}
-	c, ok := s.conns[desc.Addr]
-	if !ok || c.isDead() {
+	var c *conn
+	if ss, ok := s.conns[desc.Addr]; ok {
+		c = ss.pick(false) // any live stripe will do for a release
+	}
+	if c == nil {
 		s.queueReleaseLocked(p, desc.Key, count)
 		s.mu.Unlock()
 		return
@@ -795,22 +923,34 @@ func (s *Server) dropAbandonedReply(in *buffer.Buffer) {
 }
 
 // abandonCall withdraws a pending request whose caller is giving up
-// (timeout, cancellation, send failure). Usually unregister wins and the
-// pooled channel can be recycled; when it loses the race, the entry was
-// removed by either a delivery — whose buffered send follows the removal
-// immediately, parking the reply in ch — or a connection failure, which
-// closed ch. Both resolve promptly, so the blocking receive is safe, and
-// a delivered reply must be drained here: left parked, its bulk region
-// grant would sit in the ring until the whole connection died.
-func (s *Server) abandonCall(c *conn, reqID uint64, ch chan *buffer.Buffer) {
-	if c.unregister(reqID) {
-		putReplyChan(ch)
-		return
-	}
-	if reply, ok := <-ch; ok {
+// (timeout, cancellation, send failure). Usually the waiter wins the
+// shard-lock race and the future is recycled directly; when it loses,
+// the entry was removed by a settle whose ready signal follows the
+// removal immediately, so the bounded drain inside abandon is safe — and
+// a reply that raced in is disposed of here: left parked, its bulk
+// region grant would sit in the ring until the whole connection died.
+func (s *Server) abandonCall(c *conn, reqID uint64, fut *callFuture) {
+	c.abandon(reqID, fut, func(reply *buffer.Buffer) {
 		s.dropAbandonedReply(reply)
-		putReplyChan(ch)
+		buffer.PutShell(reply)
+	})
+}
+
+// settleReply consumes a settled future on the ready path: a delivered
+// reply is parsed (and its frame shell recycled), anything else is the
+// connection's death notice. The future returns to the pool here — the
+// waiter is its sole owner once the ready signal is drained.
+func (s *Server) settleReply(fut *callFuture, desc descriptor) (*buffer.Buffer, error) {
+	st := fut.state.Load()
+	reply := fut.reply
+	fut.reply = nil
+	putFuture(fut)
+	if st != futDelivered {
+		return nil, commErr("connection to %s lost", desc.Addr)
 	}
+	res, err := s.parseReply(reply, desc)
+	buffer.PutShell(reply)
+	return res, err
 }
 
 func (s *Server) forwardInfo(desc descriptor, p *peerState, epoch uint64, req *buffer.Buffer, info *kernel.Info) (*buffer.Buffer, error) {
@@ -820,7 +960,10 @@ func (s *Server) forwardInfo(desc descriptor, p *peerState, epoch uint64, req *b
 	if p.epoch.Load() != epoch {
 		return nil, fmt.Errorf("%w: proxy door to %s: %w", kernel.ErrCommFailure, desc.Addr, ErrLeaseExpired)
 	}
-	c, err := s.getConn(desc.Addr)
+	// Bulk steering happens at routing, by payload size alone: even
+	// without a region tier, isolating large frames on their own stripe
+	// is what keeps them from head-of-line blocking small calls.
+	c, err := s.getConn(desc.Addr, req.Size() >= s.cfg.BulkThreshold)
 	if err != nil {
 		return nil, err
 	}
@@ -830,17 +973,17 @@ func (s *Server) forwardInfo(desc descriptor, p *peerState, epoch uint64, req *b
 	}
 	payload := buffer.Get(hint)
 	payload.WriteByte(msgCall)
-	reqID, ch := c.register()
+	reqID, fut := c.register()
 	payload.WriteUint64(reqID)
 	payload.WriteUint64(desc.Key)
 	putInfoHeader(payload, info)
 	if err := s.putWireBuffer(payload, req, c, false); err != nil {
-		s.abandonCall(c, reqID, ch)
+		s.abandonCall(c, reqID, fut)
 		buffer.Put(payload)
 		return nil, err
 	}
 	if err := c.send(payload); err != nil {
-		s.abandonCall(c, reqID, ch)
+		s.abandonCall(c, reqID, fut)
 		return nil, commErr("send to %s: %v", desc.Addr, err)
 	}
 	wait := s.cfg.CallTimeout
@@ -853,22 +996,17 @@ func (s *Server) forwardInfo(desc descriptor, p *peerState, epoch uint64, req *b
 	if info != nil {
 		cancel = info.Cancel
 	}
-	timer := getTimer(wait)
+	timer := fut.armTimer(wait)
 	select {
-	case reply, ok := <-ch:
-		putTimer(timer)
-		if !ok {
-			return nil, commErr("connection to %s lost", desc.Addr)
-		}
-		putReplyChan(ch)
-		return s.parseReply(reply, desc)
+	case <-fut.ready:
+		timer.Stop()
+		return s.settleReply(fut, desc)
 	case <-cancel:
-		putTimer(timer)
-		s.abandonCall(c, reqID, ch)
+		timer.Stop()
+		s.abandonCall(c, reqID, fut)
 		return nil, fmt.Errorf("netd: call to %s: %w", desc.Addr, kernel.ErrCancelled)
 	case <-timer.C:
-		putTimer(timer)
-		s.abandonCall(c, reqID, ch)
+		s.abandonCall(c, reqID, fut)
 		if deadlineBounded {
 			return nil, fmt.Errorf("netd: call to %s: %w", desc.Addr, kernel.ErrDeadlineExceeded)
 		}
@@ -901,39 +1039,64 @@ func (s *Server) parseReply(reply *buffer.Buffer, desc descriptor) (*buffer.Buff
 	}
 }
 
-// getConn returns the pooled connection to addr, establishing (with the
-// session handshake) if needed. The steady-state lookup is one sync.Map
-// load plus an atomic liveness check — no lock, no contention with other
-// callers or the liveness sweeper.
-func (s *Server) getConn(addr string) (*conn, error) {
+// getConn returns a live connection to addr — the stripe pick() chose
+// for this caller — establishing the stripe set (with its session
+// handshakes) if needed. The steady-state lookup is one sync.Map load
+// plus the routing arithmetic — no lock, no contention with other
+// callers or the liveness sweeper. bulk steers the call to the dedicated
+// bulk stripe when the set has one.
+func (s *Server) getConn(addr string, bulk bool) (*conn, error) {
 	if v, ok := s.connCache.Load(addr); ok {
-		if c := v.(*conn); !c.isDead() {
-			return c, nil
+		ss := v.(*stripeSet)
+		if c := ss.pick(bulk); c != nil {
+			// A degraded set whose heal is due goes to the slow path even
+			// though a live stripe could serve; while heals are
+			// suppressed (healAt), the live remainder serves alone.
+			if !ss.degraded.Load() || time.Now().UnixNano() < ss.healAt.Load() {
+				return c, nil
+			}
 		}
 	}
-	return s.getConnSlow(addr)
+	return s.getConnSlow(addr, bulk)
 }
 
-// getConnSlow establishes (or waits for) the connection to addr. Dead
-// connections are pruned from the pool so the next call redials instead
-// of failing on a corpse; dials are admitted by the per-address circuit
-// breaker; and concurrent cold calls to one address share a single dial
-// (singleflight) instead of stampeding — so one dial's outcome is
-// reported to the breaker exactly once, and no handshake is wasted.
-func (s *Server) getConnSlow(addr string) (*conn, error) {
+// getConnSlow establishes (or waits for) the stripe set to addr, healing
+// a degraded one by dialling only its missing stripes. Fully dead sets
+// are pruned so the next call redials cold; dials are admitted by the
+// per-address circuit breaker; and concurrent cold calls to one address
+// share a single flight (singleflight) instead of stampeding — one
+// flight's outcome is reported to the breaker exactly once, however many
+// stripes it dialled.
+func (s *Server) getConnSlow(addr string, bulk bool) (*conn, error) {
 	for attempt := 0; ; attempt++ {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			return nil, ErrClosed
 		}
-		if c, ok := s.conns[addr]; ok {
-			if !c.isDead() {
+		var heal *stripeSet
+		if ss, ok := s.conns[addr]; ok {
+			healDue := ss.degraded.Load() && time.Now().UnixNano() >= ss.healAt.Load()
+			if c := ss.pick(bulk); c != nil && !healDue {
 				s.mu.Unlock()
 				return c, nil
 			}
-			delete(s.conns, addr) // pool hygiene: never hand out a dead conn
-			s.connCache.Delete(addr)
+			alive := 0
+			for _, lc := range ss.live() {
+				if !lc.isDead() {
+					alive++
+				}
+			}
+			if alive == 0 {
+				// The whole set is dead: prune it so the address redials
+				// cold below, through the breaker like any first dial.
+				delete(s.conns, addr)
+				s.connCache.Delete(addr)
+				gStripes.Add(int64(-ss.counted))
+				ss.counted = 0
+			} else {
+				heal = ss // dial only the missing stripes
+			}
 		}
 		if f, ok := s.dialing[addr]; ok {
 			s.mu.Unlock()
@@ -945,16 +1108,18 @@ func (s *Server) getConnSlow(addr string) (*conn, error) {
 			if f.err != nil {
 				return nil, f.err
 			}
-			if !f.c.isDead() {
-				return f.c, nil
+			if c := f.ss.pick(bulk); c != nil {
+				return c, nil
 			}
 			if attempt >= 1 {
 				return nil, commErr("connection to %s lost", addr)
 			}
-			continue // the shared dial's conn died already; try once more
+			continue // the shared flight's conns died already; try once more
 		}
 		p := s.peerLocked(addr)
-		if !s.breakerAdmitLocked(p, time.Now()) {
+		if heal == nil && !s.breakerAdmitLocked(p, time.Now()) {
+			// Heals skip breaker admission: a live stripe proves the peer
+			// is reachable, and the flight still reports its outcome.
 			until := time.Until(p.openUntil).Round(time.Millisecond)
 			s.mu.Unlock()
 			return nil, fmt.Errorf("%w: %s: %w (next probe in %v)", kernel.ErrCommFailure, addr, ErrBreakerOpen, until)
@@ -963,7 +1128,7 @@ func (s *Server) getConnSlow(addr string) (*conn, error) {
 		s.dialing[addr] = f
 		s.mu.Unlock()
 
-		c, err := s.dialAndHello(addr)
+		ss, err := s.healStripes(addr, heal)
 		s.mu.Lock()
 		delete(s.dialing, addr)
 		p = s.peerLocked(addr)
@@ -973,22 +1138,105 @@ func (s *Server) getConnSlow(addr string) (*conn, error) {
 			s.breakerOKLocked(p)
 			if s.closed {
 				err = ErrClosed
-			} else {
-				s.conns[addr] = c
-				s.connCache.Store(addr, c)
 			}
 		}
-		f.c, f.err = c, err
+		f.ss, f.err = ss, err
 		s.mu.Unlock()
 		close(f.done)
 		if err != nil {
+			return nil, err
+		}
+		if c := ss.pick(bulk); c != nil {
+			return c, nil
+		}
+		return nil, commErr("connection to %s lost", addr)
+	}
+}
+
+// healStripes brings addr's stripe set to its configured width, dialling
+// the missing stripes in parallel (all of them, for a cold address) and
+// publishing the result under s.mu. It fails only when no live stripe
+// remains at all; a partial heal publishes what it got, marks the set
+// degraded and suppresses re-heals for a breaker-backoff period so an
+// address that can only sustain some stripes is not re-dialled per call.
+func (s *Server) healStripes(addr string, ss *stripeSet) (*stripeSet, error) {
+	want := s.cfg.Stripes
+	if ss == nil {
+		ss = &stripeSet{addr: addr, want: want}
+	}
+	keep := make([]*conn, 0, want)
+	for _, c := range ss.live() {
+		if !c.isDead() {
+			keep = append(keep, c)
+		}
+	}
+	need := want - len(keep)
+	dialed := make([]*conn, need)
+	errs := make([]error, need)
+	if need > 0 {
+		var wg sync.WaitGroup
+		for i := 0; i < need; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				dialed[i], errs[i] = s.dialAndHello(addr)
+			}(i)
+		}
+		wg.Wait()
+	}
+	next := keep
+	var firstErr error
+	for i, c := range dialed {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+			continue
+		}
+		next = append(next, c)
+	}
+	if len(next) == 0 {
+		if firstErr == nil {
+			firstErr = commErr("connection to %s lost", addr)
+		}
+		return nil, firstErr
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		for _, c := range dialed {
 			if c != nil {
 				c.fail(ErrClosed)
 			}
-			return nil, err
 		}
-		return c, nil
+		return nil, ErrClosed
 	}
+	// Re-filter at publication: a stripe can die during a sibling's dial,
+	// and its connClosed could not remove it (it was not published yet).
+	live := next[:0]
+	for _, c := range next {
+		if !c.isDead() {
+			live = append(live, c)
+		}
+	}
+	published := append([]*conn(nil), live...)
+	ss.conns.Store(&published)
+	gStripes.Add(int64(len(published) - ss.counted))
+	ss.counted = len(published)
+	if len(published) < want {
+		ss.degraded.Store(true)
+		ss.healAt.Store(time.Now().Add(s.cfg.BreakerBackoff).UnixNano())
+	} else {
+		ss.degraded.Store(false)
+		ss.healAt.Store(0)
+	}
+	s.conns[addr] = ss
+	s.connCache.Store(addr, ss)
+	s.mu.Unlock()
+	if len(published) == 0 {
+		return nil, commErr("connection to %s lost", addr)
+	}
+	return ss, nil
 }
 
 // dialAndHello dials addr (bounded by DialTimeout), starts the read
@@ -1105,7 +1353,6 @@ func (s *Server) serveConn(c *conn, addr string) {
 	// not waiting on the handler in front of them.
 	budget := s.cfg.Dispatch.InlineBudget
 	var rel []releasePair // reused across batches by the release coalescer
-loop:
 	for {
 		if br.Buffered() == 0 {
 			budget = s.cfg.Dispatch.InlineBudget
@@ -1115,95 +1362,116 @@ loop:
 			break
 		}
 		c.lastRecv.Store(time.Now().UnixNano())
-		in := buffer.FromParts(frame, nil)
-		msg, err := in.ReadByte()
-		if err != nil {
+		if !s.serveFrame(c, br, frame, &rel, &budget) {
 			break
-		}
-		switch msg {
-		case msgHello:
-			instance, err1 := in.ReadUint64()
-			epoch, err2 := in.ReadUint64()
-			listenAddr, err3 := in.ReadString()
-			peerCaps, err4 := in.ReadUint32()
-			peerMachine, err5 := in.ReadUint64()
-			if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
-				break loop
-			}
-			s.handleHello(c, instance, epoch, listenAddr, peerCaps, peerMachine)
-		case msgPing:
-			pong := buffer.Get(1)
-			pong.WriteByte(msgPong)
-			_ = c.send(pong)
-		case msgPong:
-			// lastRecv above is all a pong is for.
-		case msgReply:
-			reqID, err := in.ReadUint64()
-			if err != nil {
-				continue
-			}
-			if !c.deliver(reqID, in) {
-				// The caller abandoned the reply (timeout, cancel); if it
-				// carried a bulk region, release it rather than stranding
-				// it in the ring until the connection dies.
-				s.dropAbandonedReply(in)
-			}
-		case msgCall:
-			if !c.hasSession() {
-				break loop
-			}
-			reqID, err1 := in.ReadUint64()
-			key, err2 := in.ReadUint64()
-			if err1 != nil || err2 != nil {
-				continue
-			}
-			info, err := getInfoHeader(in)
-			if err != nil {
-				s.reply(c, reqID, codeError, nil, err.Error())
-				continue
-			}
-			req, err := s.getWireBuffer(in)
-			if err != nil {
-				s.reply(c, reqID, codeError, nil, err.Error())
-				continue
-			}
-			s.dispatchCall(c, reqID, key, req, info, &budget)
-		case msgRelease:
-			if !c.hasSession() {
-				break loop
-			}
-			key, err1 := in.ReadUint64()
-			count, err2 := in.ReadUvarint()
-			if err1 != nil || err2 != nil {
-				continue
-			}
-			// A release burst (a dropped proxy tree, a cache eviction
-			// sweep) arrives as consecutive frames in one flush; peel
-			// the whole run off the buffered reader and apply it in a
-			// single locked pass instead of paying s.mu per frame.
-			rel = append(rel[:0], releasePair{key: key, count: int64(count)})
-			rel = coalesceReleases(br, rel)
-			s.mu.Lock()
-			for _, r := range rel {
-				s.releaseLocked(c.sess, r.key, int(r.count))
-			}
-			s.mu.Unlock()
-		case msgRoot:
-			if !c.hasSession() {
-				break loop
-			}
-			reqID, err := in.ReadUint64()
-			if err != nil {
-				continue
-			}
-			name, err := in.ReadString()
-			if err != nil {
-				continue
-			}
-			s.handleRoot(c, reqID, name)
 		}
 	}
 	s.connClosed(c, addr)
+}
+
+// serveFrame handles one decoded frame for serveConn, reporting whether
+// the connection should keep being served. The frame is wrapped in a
+// pooled buffer shell (no copy, no heap header per frame); replies hand
+// the shell to the waiting caller, every other path recycles it here.
+func (s *Server) serveFrame(c *conn, br *bufio.Reader, frame []byte, rel *[]releasePair, budget *time.Duration) bool {
+	in := buffer.Wrap(frame, nil)
+	msg, err := in.ReadByte()
+	if err != nil {
+		buffer.PutShell(in)
+		return false
+	}
+	switch msg {
+	case msgHello:
+		instance, err1 := in.ReadUint64()
+		epoch, err2 := in.ReadUint64()
+		listenAddr, err3 := in.ReadString()
+		peerCaps, err4 := in.ReadUint32()
+		peerMachine, err5 := in.ReadUint64()
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
+			buffer.PutShell(in)
+			return false
+		}
+		s.handleHello(c, instance, epoch, listenAddr, peerCaps, peerMachine)
+	case msgPing:
+		pong := buffer.Get(1)
+		pong.WriteByte(msgPong)
+		_ = c.send(pong)
+	case msgPong:
+		// lastRecv above is all a pong is for.
+	case msgReply:
+		reqID, err := in.ReadUint64()
+		if err != nil {
+			break
+		}
+		if c.deliver(reqID, in) {
+			// The shell now belongs to the waiting caller (settleReply
+			// recycles it); the frame bytes stay alive through it.
+			return true
+		}
+		// The caller abandoned the reply (timeout, cancel); if it
+		// carried a bulk region, release it rather than stranding
+		// it in the ring until the connection dies.
+		s.dropAbandonedReply(in)
+	case msgCall:
+		if !c.hasSession() {
+			buffer.PutShell(in)
+			return false
+		}
+		reqID, err1 := in.ReadUint64()
+		key, err2 := in.ReadUint64()
+		if err1 != nil || err2 != nil {
+			break
+		}
+		info, err := getInfoHeader(in)
+		if err != nil {
+			s.reply(c, reqID, codeError, nil, err.Error())
+			break
+		}
+		req, err := s.getWireBuffer(in)
+		if err != nil {
+			s.reply(c, reqID, codeError, nil, err.Error())
+			break
+		}
+		// req aliases (or copied) the frame; the shell itself is done.
+		s.dispatchCall(c, reqID, key, req, info, budget)
+	case msgRelease:
+		if !c.hasSession() {
+			buffer.PutShell(in)
+			return false
+		}
+		key, err1 := in.ReadUint64()
+		count, err2 := in.ReadUvarint()
+		if err1 != nil || err2 != nil {
+			break
+		}
+		// A release burst (a dropped proxy tree, a cache eviction
+		// sweep) arrives as consecutive frames in one flush; peel
+		// the whole run off the buffered reader and apply it in a
+		// single locked pass instead of paying s.mu per frame.
+		*rel = append((*rel)[:0], releasePair{key: key, count: int64(count)})
+		*rel = coalesceReleases(br, *rel)
+		s.mu.Lock()
+		for _, r := range *rel {
+			s.releaseLocked(c.sess, r.key, int(r.count))
+		}
+		s.mu.Unlock()
+	case msgRoot:
+		if !c.hasSession() {
+			buffer.PutShell(in)
+			return false
+		}
+		reqID, err := in.ReadUint64()
+		if err != nil {
+			break
+		}
+		name, err := in.ReadString()
+		if err != nil {
+			break
+		}
+		s.handleRoot(c, reqID, name)
+	}
+	buffer.PutShell(in)
+	return true
 }
 
 // dispatchCall routes one incoming call through the dispatch engine
@@ -1483,35 +1751,30 @@ func (s *Server) handleRoot(c *conn, reqID uint64, name string) {
 // ImportRootObject fetches the named root object from the server at addr
 // and unmarshals it into env (which must belong to this server's kernel).
 func (s *Server) ImportRootObject(env *core.Env, addr, name string, expected *core.MTable) (*core.Object, error) {
-	c, err := s.getConn(addr)
+	c, err := s.getConn(addr, false)
 	if err != nil {
 		return nil, err
 	}
 	payload := buffer.Get(32)
 	payload.WriteByte(msgRoot)
-	reqID, ch := c.register()
+	reqID, fut := c.register()
 	payload.WriteUint64(reqID)
 	payload.WriteString(name)
 	if err := c.send(payload); err != nil {
-		s.abandonCall(c, reqID, ch)
+		s.abandonCall(c, reqID, fut)
 		return nil, commErr("send to %s: %v", addr, err)
 	}
-	timer := getTimer(s.cfg.CallTimeout)
+	timer := fut.armTimer(s.cfg.CallTimeout)
 	select {
-	case reply, ok := <-ch:
-		putTimer(timer)
-		if !ok {
-			return nil, commErr("connection to %s lost", addr)
-		}
-		putReplyChan(ch)
-		buf, err := s.parseReply(reply, descriptor{Addr: addr})
+	case <-fut.ready:
+		timer.Stop()
+		buf, err := s.settleReply(fut, descriptor{Addr: addr})
 		if err != nil {
 			return nil, err
 		}
 		return core.Unmarshal(env, expected, buf)
 	case <-timer.C:
-		putTimer(timer)
-		s.abandonCall(c, reqID, ch)
+		s.abandonCall(c, reqID, fut)
 		return nil, commErr("root fetch from %s timed out", addr)
 	}
 }

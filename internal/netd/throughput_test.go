@@ -404,11 +404,11 @@ func TestPingPathAllocs(t *testing.T) {
 }
 
 func TestSmallCallClientPathAllocs(t *testing.T) {
-	// ISSUE 3 acceptance: the client-side machinery of a small call —
-	// frame assembly, request registration, enqueue to the writer, reply
-	// delivery, channel recycling — must allocate at most 4 heap objects
-	// per call. The reply is canned (delivered as the read loop would)
-	// so only the client path is measured.
+	// ISSUE 3 acceptance (tightened by E21): the client-side machinery of
+	// a small call — frame assembly, request registration, enqueue to the
+	// writer, reply delivery, future recycling — must allocate at most 4
+	// heap objects per call. The reply is canned (delivered as the read
+	// loop would) so only the client path is measured.
 	s := &Server{}
 	c := s.newConn(newDiscardConn())
 	t.Cleanup(func() { c.fail(errConnDead) })
@@ -416,7 +416,7 @@ func TestSmallCallClientPathAllocs(t *testing.T) {
 	n := testing.AllocsPerRun(300, func() {
 		payload := buffer.Get(64)
 		payload.WriteByte(msgCall)
-		id, ch := c.register()
+		id, fut := c.register()
 		payload.WriteUint64(id)
 		payload.WriteUint64(7) // descriptor key
 		putInfoHeader(payload, nil)
@@ -424,8 +424,12 @@ func TestSmallCallClientPathAllocs(t *testing.T) {
 			t.Fatal(err)
 		}
 		c.deliver(id, canned)
-		<-ch
-		putReplyChan(ch)
+		<-fut.ready
+		if fut.state.Load() != futDelivered {
+			t.Fatal("future not delivered")
+		}
+		fut.reply = nil
+		putFuture(fut)
 	})
 	if n > 4 {
 		t.Fatalf("small-call client path allocates %.1f objects/op, want <= 4", n)
@@ -455,7 +459,7 @@ func TestSmallCallRoundTripAllocs(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	if n > 24 {
-		t.Fatalf("small-call round trip allocates %.1f objects/op, want <= 24", n)
+	if n > 18 {
+		t.Fatalf("small-call round trip allocates %.1f objects/op, want <= 18", n)
 	}
 }
