@@ -47,8 +47,9 @@ bench:
 	go test -run NONE -bench 'E16' -benchmem . | tee /tmp/bench_e16.out
 	go run ./cmd/benchjson -experiment 'E16 lock-free local door path + scalable cache manager (intra-machine)' \
 		-o BENCH_cache.json < /tmp/bench_e16.out
-	go test -run NONE -bench 'E17' -benchmem . | tee /tmp/bench_e17.out
-	go run ./cmd/benchjson -experiment 'E17 distributed-tracing overhead (off / unsampled / sampled on the minimal call)' \
+	go test -run NONE -bench 'E17|E22' -benchmem . | tee /tmp/bench_e17.out
+	go run ./cmd/benchjson -experiment 'E17 tracing overhead + E22 always-on latency recording (off / sampled8 / timed / always, P1 and P64)' \
+		-note 'E22 prices the v2 always-on histogram against the v1 1-in-8 sampler on the singleton echo; timed-vs-always isolates the record proper (budget 15ns, 0 allocs), and the always cells carry the measured window p50/p99/p999' \
 		-o BENCH_trace.json < /tmp/bench_e17.out
 	go test -run NONE -bench 'E19' -benchmem -benchtime 2s . | tee /tmp/bench_wal.out
 	go run ./cmd/benchjson -experiment 'E19 durable writes: WAL group-commit batch-size sweep vs in-memory baseline' \
@@ -61,7 +62,7 @@ bench:
 
 # One-iteration smoke: the benchmarks still compile and run.
 bench-quick:
-	go test -run NONE -bench 'E15|E16|E17|E18|E19|E20|E21_Striped_S[28]_P8_0B|E21_MixedHoL' -benchtime 1x .
+	go test -run NONE -bench 'E15|E16|E17|E18|E19|E20|E21_Striped_S[28]_P8_0B|E21_MixedHoL|E22' -benchtime 1x .
 
 bench-all:
 	go test -bench=. -benchmem
@@ -69,17 +70,26 @@ bench-all:
 gen:
 	go run ./cmd/idlgen -package filesys -o internal/filesys/gen.go internal/filesys/filesys.idl
 
-# Observability smoke: boot springfsd with the telemetry plane, scrape
-# /metrics and /healthz, and check the gauges and health keys are there.
+# Observability smoke: boot springfsd with the telemetry plane and
+# every-call tracing, drive a traced write/read through fsh, then scrape
+# /metrics (gauges + a histogram trace exemplar), /statz (a windowed
+# delta with subcontract rows), and /healthz.
 obs:
 	go build -o /tmp/springfsd_obs ./cmd/springfsd
-	/tmp/springfsd_obs -addr 127.0.0.1:17040 -telemetry 127.0.0.1:16060 & \
+	go build -o /tmp/fsh_obs ./cmd/fsh
+	/tmp/springfsd_obs -addr 127.0.0.1:17040 -telemetry 127.0.0.1:16060 -trace-sample 1 & \
 	pid=$$!; \
 	sleep 1; \
 	ok=0; \
+	/tmp/fsh_obs -server 127.0.0.1:17040 create obs-smoke >/dev/null && \
+	/tmp/fsh_obs -server 127.0.0.1:17040 write obs-smoke "latency plane v2" >/dev/null && \
+	/tmp/fsh_obs -server 127.0.0.1:17040 cat obs-smoke >/dev/null && \
 	curl -sf http://127.0.0.1:16060/metrics | grep -q '^netd_conns_live' && \
 	curl -sf http://127.0.0.1:16060/metrics | grep -q '^subcontract_calls_total' && \
+	curl -sf http://127.0.0.1:16060/metrics | grep -q '# {trace_id=' && \
+	curl -sf 'http://127.0.0.1:16060/statz?window=10s' | grep -q '"window_seconds"' && \
+	curl -sf 'http://127.0.0.1:16060/statz?window=10s' | grep -q '"subcontracts"' && \
 	curl -sf http://127.0.0.1:16060/healthz | grep -q '"status"' || ok=1; \
 	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
-	rm -f /tmp/springfsd_obs; \
+	rm -f /tmp/springfsd_obs /tmp/fsh_obs; \
 	test $$ok -eq 0 && echo "obs smoke: ok"

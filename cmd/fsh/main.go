@@ -58,6 +58,8 @@ var (
 		"serve /metrics, /traces, /healthz and pprof on this address (e.g. :6061; empty = off)")
 	traceSample = flag.Int("trace-sample", 0,
 		"record a trace for 1 in N calls that arrive untraced (0 = only explicitly traced calls)")
+	traceSlow = flag.Duration("trace-slow", 0,
+		"tail-capture calls slower than this into /traces/slow, even when head sampling skips them (0 = off)")
 )
 
 func usage() {
@@ -75,6 +77,7 @@ func main() {
 	}
 
 	trace.SetSampling(*traceSample)
+	trace.SetSlowDefault(*traceSlow)
 	if *telemetryAddr != "" {
 		tp, err := telemetry.Start(*telemetryAddr)
 		if err != nil {

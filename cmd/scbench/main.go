@@ -12,9 +12,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/scstats"
@@ -31,6 +35,8 @@ var (
 		"serve /metrics, /traces, /healthz and pprof on this address while the suite runs (empty = off)")
 	traceSample = flag.Int("trace-sample", 0,
 		"record a trace for 1 in N calls that arrive untraced (0 = only explicitly traced calls)")
+	traceSlow = flag.Duration("trace-slow", 0,
+		"tail-capture calls slower than this into /traces/slow, even when head sampling skips them (0 = off)")
 	dispatchWorkers = flag.Int("dispatch-workers", 0,
 		"dispatch pool workers for the E20 engine cells (0 = GOMAXPROCS, capped at 64)")
 	dispatchInflight = flag.Int("dispatch-inflight", 0,
@@ -42,11 +48,138 @@ var (
 )
 
 // run executes one experiment body under the testing benchmark driver.
+// With the telemetry plane up, each cell is bracketed by two /statz
+// totals scrapes and the busiest subcontract's window percentiles print
+// under the ns/op line — the plane observing the benchmark that runs it.
 func run(name string, fn func(*testing.B)) testing.BenchmarkResult {
+	prev := scrapeStatz()
 	r := testing.Benchmark(fn)
 	fmt.Printf("  %-44s %12.0f ns/op %10d B/op %8d allocs/op\n",
 		name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	if line := statzCellLine(scrapeStatz(), prev); line != "" {
+		fmt.Printf("      %s\n", line)
+	}
 	return r
+}
+
+// ---------------------------------------------------------------------
+// /statz percentile bracketing.
+
+// statzURL is set once the telemetry plane is listening; empty = skip
+// the percentile brackets.
+var statzURL string
+
+// statzTotals is the subset of a /statz?window=0&buckets=1 response the
+// cell brackets need: each subcontract's raw interval buckets.
+type statzTotals struct {
+	subs map[string][][3]int64 // name → [lo_ns, hi_ns, count] triples
+}
+
+func scrapeStatz() *statzTotals {
+	if statzURL == "" {
+		return nil
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(statzURL + "/statz?window=0&buckets=1")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Subcontracts []struct {
+			Name    string `json:"name"`
+			Latency struct {
+				Buckets [][3]int64 `json:"buckets"`
+			} `json:"latency"`
+		} `json:"subcontracts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil
+	}
+	out := &statzTotals{subs: make(map[string][][3]int64)}
+	for _, sc := range body.Subcontracts {
+		out.subs[sc.Name] = sc.Latency.Buckets
+	}
+	return out
+}
+
+// statzCellLine diffs two totals scrapes and renders the busiest
+// subcontract's window percentiles ("" when there is nothing to say).
+func statzCellLine(cur, prev *statzTotals) string {
+	if cur == nil || prev == nil {
+		return ""
+	}
+	type win struct {
+		name    string
+		count   int64
+		buckets [][3]int64
+	}
+	var best win
+	for name, cb := range cur.subs {
+		d := subStatzBuckets(cb, prev.subs[name])
+		var n int64
+		for _, b := range d {
+			n += b[2]
+		}
+		if n > best.count {
+			best = win{name: name, count: n, buckets: d}
+		}
+	}
+	if best.count == 0 {
+		return ""
+	}
+	q := func(p float64) time.Duration {
+		return time.Duration(statzQuantile(best.buckets, p))
+	}
+	return fmt.Sprintf("statz[%s]: n=%d p50=%v p99=%v p999=%v",
+		best.name, best.count, q(0.50), q(0.99), q(0.999))
+}
+
+// subStatzBuckets subtracts prev's counts from cur's, matching buckets
+// on their bounds.
+func subStatzBuckets(cur, prev [][3]int64) [][3]int64 {
+	pc := make(map[[2]int64]int64, len(prev))
+	for _, b := range prev {
+		pc[[2]int64{b[0], b[1]}] = b[2]
+	}
+	out := make([][3]int64, 0, len(cur))
+	for _, b := range cur {
+		d := b[2] - pc[[2]int64{b[0], b[1]}]
+		if d > 0 {
+			out = append(out, [3]int64{b[0], b[1], d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// statzQuantile returns the q quantile in ns from interval [lo, hi,
+// count] triples (hi −1 = unbounded), crediting each bucket at its
+// upper bound.
+func statzQuantile(buckets [][3]int64, q float64) int64 {
+	var total int64
+	for _, b := range buckets {
+		total += b[2]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.9999)
+	var seen int64
+	for _, b := range buckets {
+		seen += b[2]
+		if seen >= rank {
+			if b[1] < 0 {
+				return b[0]
+			}
+			return b[1]
+		}
+	}
+	last := buckets[len(buckets)-1]
+	if last[1] < 0 {
+		return last[0]
+	}
+	return last[1]
 }
 
 func nsPerOp(r testing.BenchmarkResult) float64 {
@@ -63,12 +196,14 @@ func main() {
 	testing.Init()
 	flag.Parse()
 	trace.SetSampling(*traceSample)
+	trace.SetSlowDefault(*traceSlow)
 	if *telemetryAddr != "" {
 		tp, err := telemetry.Start(*telemetryAddr)
 		if err != nil {
 			fmt.Println("note:", err)
 		} else {
 			defer tp.Close()
+			statzURL = "http://" + tp.Addr()
 			fmt.Printf("telemetry on http://%s\n", tp.Addr())
 		}
 	}
@@ -246,6 +381,15 @@ func main() {
 	}
 	fmt.Printf("  => striping the peer connection serves 64-way traffic %.1fx faster than one conn\n",
 		nsPerOp(s1)/nsPerOp(sN))
+
+	section("E22 always-on latency recording (v1 sampled-8 vs v2 always-on HDR histograms)")
+	offR := run("record off, 1 caller", bench.E22RecordCost("off", 1))
+	run("v1 sampled 1-in-8, 1 caller", bench.E22RecordCost("sampled8", 1))
+	timed := run("clocks only (timed), 1 caller", bench.E22RecordCost("timed", 1))
+	alw := run("v2 always-on, 1 caller", bench.E22RecordCost("always", 1))
+	run("v2 always-on, 64 callers", bench.E22RecordCost("always", 64))
+	fmt.Printf("  => the clock pair costs %.0f ns; the histogram record proper adds %.0f ns (budget 15)\n",
+		nsPerOp(timed)-nsPerOp(offR), nsPerOp(alw)-nsPerOp(timed))
 
 	if *stats {
 		fmt.Println("\nper-subcontract metrics (scstats)")

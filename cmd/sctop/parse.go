@@ -4,17 +4,35 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
 
-// sample is one parsed exposition line: a metric name, its label set (we
-// only care about the subcontract label), and the value.
+// sample is one parsed exposition line: a metric name, the labels we care
+// about (subcontract, peer, le), and the value.
 type sample struct {
 	name        string
 	subcontract string
+	peer        string
 	le          string
 	value       float64
+}
+
+// bucket is one cumulative histogram bucket: count of observations ≤ le
+// seconds (le = +Inf for the catch-all).
+type bucket struct {
+	le    float64
+	count float64
+}
+
+// peerScrape is the per-peer RED block parsed from the netd_peer_*
+// families.
+type peerScrape struct {
+	calls, errs      float64
+	latSum, latCount float64
+	buckets          []bucket
 }
 
 // scrape is one parsed /metrics payload.
@@ -24,19 +42,26 @@ type scrape struct {
 	// latencySum/latencyCount per subcontract (seconds / samples).
 	latencySum   map[string]float64
 	latencyCount map[string]float64
+	// latencyBuckets per subcontract: cumulative, ascending le.
+	latencyBuckets map[string][]bucket
+	// peers by address, from the netd per-peer RED histograms.
+	peers map[string]*peerScrape
 	// gauges by (sanitized) metric name.
 	gauges map[string]float64
 }
 
 // parseMetrics reads Prometheus text exposition. It understands the
 // subset the telemetry plane emits: plain `name value` lines, labelled
-// `name{a="b",...} value` lines, and # comments.
+// `name{a="b",...} value` lines, # comments, and the exemplar suffix
+// (` # {trace_id="..."} ts`) the plane appends to bucket lines.
 func parseMetrics(r io.Reader) (*scrape, error) {
 	sc := &scrape{
-		counters:     make(map[string]map[string]float64),
-		latencySum:   make(map[string]float64),
-		latencyCount: make(map[string]float64),
-		gauges:       make(map[string]float64),
+		counters:       make(map[string]map[string]float64),
+		latencySum:     make(map[string]float64),
+		latencyCount:   make(map[string]float64),
+		latencyBuckets: make(map[string][]bucket),
+		peers:          make(map[string]*peerScrape),
+		gauges:         make(map[string]float64),
 	}
 	br := bufio.NewScanner(r)
 	br.Buffer(make([]byte, 1<<20), 1<<20)
@@ -55,7 +80,26 @@ func parseMetrics(r io.Reader) (*scrape, error) {
 		case s.name == "subcontract_latency_seconds_count":
 			sc.latencyCount[s.subcontract] = s.value
 		case s.name == "subcontract_latency_seconds_bucket":
-			// buckets are not used by the table; skip
+			sc.latencyBuckets[s.subcontract] = append(sc.latencyBuckets[s.subcontract],
+				bucket{le: parseLe(s.le), count: s.value})
+		case strings.HasPrefix(s.name, "netd_peer_"):
+			p := sc.peers[s.peer]
+			if p == nil {
+				p = &peerScrape{}
+				sc.peers[s.peer] = p
+			}
+			switch s.name {
+			case "netd_peer_calls_total":
+				p.calls = s.value
+			case "netd_peer_errors_total":
+				p.errs = s.value
+			case "netd_peer_latency_seconds_sum":
+				p.latSum = s.value
+			case "netd_peer_latency_seconds_count":
+				p.latCount = s.value
+			case "netd_peer_latency_seconds_bucket":
+				p.buckets = append(p.buckets, bucket{le: parseLe(s.le), count: s.value})
+			}
 		case strings.HasPrefix(s.name, "subcontract_"):
 			m := sc.counters[s.subcontract]
 			if m == nil {
@@ -67,12 +111,93 @@ func parseMetrics(r io.Reader) (*scrape, error) {
 			sc.gauges[s.name] = s.value
 		}
 	}
-	return sc, br.Err()
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	for _, b := range sc.latencyBuckets {
+		sortBuckets(b)
+	}
+	for _, p := range sc.peers {
+		sortBuckets(p.buckets)
+	}
+	return sc, nil
 }
 
-// parseLine splits one sample line.
+func sortBuckets(b []bucket) {
+	sort.Slice(b, func(i, j int) bool { return b[i].le < b[j].le })
+}
+
+func parseLe(s string) float64 {
+	if s == "+Inf" {
+		return math.Inf(1)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return v
+}
+
+// subBuckets subtracts a previous scrape's cumulative buckets from the
+// current ones (matching on le), yielding the window's cumulative
+// histogram. A nil prev returns cur unchanged.
+func subBuckets(cur, prev []bucket) []bucket {
+	if len(prev) == 0 {
+		return cur
+	}
+	pc := make(map[float64]float64, len(prev))
+	for _, b := range prev {
+		pc[b.le] = b.count
+	}
+	out := make([]bucket, 0, len(cur))
+	for _, b := range cur {
+		d := b.count - pc[b.le]
+		if d < 0 {
+			d = 0
+		}
+		out = append(out, bucket{le: b.le, count: d})
+	}
+	return out
+}
+
+// histQuantile returns the q quantile, in seconds, of a cumulative
+// bucket list (ascending le). It reports the upper bound of the bucket
+// the rank falls in — the same ≤6.25%-wide resolution the histogram
+// stores. The +Inf bucket resolves to the last finite bound. NaN when
+// the histogram is empty.
+func histQuantile(buckets []bucket, q float64) float64 {
+	if len(buckets) == 0 {
+		return math.NaN()
+	}
+	total := buckets[len(buckets)-1].count
+	if total <= 0 {
+		return math.NaN()
+	}
+	rank := q * total
+	lastFinite := 0.0
+	for _, b := range buckets {
+		if !math.IsInf(b.le, 1) {
+			lastFinite = b.le
+		}
+		if b.count >= rank {
+			if math.IsInf(b.le, 1) {
+				return lastFinite
+			}
+			return b.le
+		}
+	}
+	return lastFinite
+}
+
+// parseLine splits one sample line, ignoring any exemplar suffix.
 func parseLine(line string) (sample, error) {
 	var s sample
+	// The plane appends OpenMetrics-style exemplars to bucket lines:
+	// `... 15 # {trace_id="..."} 1.2e-05`. Everything from " # " on is
+	// exemplar, not value.
+	if i := strings.Index(line, " # "); i >= 0 {
+		line = strings.TrimSpace(line[:i])
+	}
 	nameEnd := strings.IndexAny(line, "{ ")
 	if nameEnd < 0 {
 		return s, fmt.Errorf("sctop: malformed line %q", line)
@@ -99,6 +224,8 @@ func parseLine(line string) (sample, error) {
 			switch key {
 			case "subcontract":
 				s.subcontract = val
+			case "peer":
+				s.peer = val
 			case "le":
 				s.le = val
 			}

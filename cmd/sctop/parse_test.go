@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -16,14 +17,23 @@ subcontract_errors_total{subcontract="singleton"} 0
 subcontract_cache_hits_total{subcontract="caching"} 30
 subcontract_cache_misses_total{subcontract="caching"} 10
 # TYPE subcontract_latency_seconds histogram
-subcontract_latency_seconds_bucket{subcontract="netd",le="1.024e-06"} 3
+subcontract_latency_seconds_bucket{subcontract="netd",le="1.024e-06"} 3 # {trace_id="00000000deadbeef"} 9.5e-07
+subcontract_latency_seconds_bucket{subcontract="netd",le="2.048e-06"} 12
 subcontract_latency_seconds_bucket{subcontract="netd",le="+Inf"} 15
 subcontract_latency_seconds_sum{subcontract="netd"} 0.0045
 subcontract_latency_seconds_count{subcontract="netd"} 15
+# TYPE netd_peer_calls_total counter
+netd_peer_calls_total{peer="10.0.0.7:700"} 40
+netd_peer_errors_total{peer="10.0.0.7:700"} 4
+# TYPE netd_peer_latency_seconds histogram
+netd_peer_latency_seconds_bucket{peer="10.0.0.7:700",le="1e-05"} 30 # {trace_id="00000000cafef00d"} 8e-06
+netd_peer_latency_seconds_bucket{peer="10.0.0.7:700",le="+Inf"} 40
+netd_peer_latency_seconds_sum{peer="10.0.0.7:700"} 0.001
+netd_peer_latency_seconds_count{peer="10.0.0.7:700"} 40
 # TYPE netd_conns_live gauge
 netd_conns_live 2
-# TYPE netd_breaker_opened gauge
-netd_breaker_opened 0
+# TYPE netd_breaker_opened_total counter
+netd_breaker_opened_total 0
 `
 
 func TestParseMetrics(t *testing.T) {
@@ -51,6 +61,64 @@ func TestParseMetrics(t *testing.T) {
 	}
 	if _, tracked := sc.counters["netd"]["subcontract_latency_seconds_bucket"]; tracked {
 		t.Error("histogram buckets leaked into the counter map")
+	}
+	// Buckets are collected in ascending-le order, exemplar suffix and
+	// all.
+	b := sc.latencyBuckets["netd"]
+	if len(b) != 3 || b[0].count != 3 || b[1].count != 12 || !math.IsInf(b[2].le, 1) {
+		t.Errorf("netd buckets = %+v, want 3 ascending with +Inf last", b)
+	}
+	// The peer RED block parses, exemplars stripped.
+	p := sc.peers["10.0.0.7:700"]
+	if p == nil || p.calls != 40 || p.errs != 4 || len(p.buckets) != 2 {
+		t.Fatalf("peer scrape = %+v, want calls=40 errs=4 with 2 buckets", p)
+	}
+	if p.buckets[0].count != 30 {
+		t.Errorf("peer bucket[0] = %+v, want count 30 (exemplar stripped)", p.buckets[0])
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	b := []bucket{
+		{le: 1e-6, count: 50},
+		{le: 2e-6, count: 90},
+		{le: 1e-3, count: 100},
+		{le: math.Inf(1), count: 100},
+	}
+	if got := histQuantile(b, 0.50); got != 1e-6 {
+		t.Errorf("p50 = %v, want 1e-6", got)
+	}
+	if got := histQuantile(b, 0.90); got != 2e-6 {
+		t.Errorf("p90 = %v, want 2e-6", got)
+	}
+	if got := histQuantile(b, 0.99); got != 1e-3 {
+		t.Errorf("p99 = %v, want 1e-3", got)
+	}
+	// Ranks landing in +Inf resolve to the last finite bound.
+	over := []bucket{{le: 1e-6, count: 1}, {le: math.Inf(1), count: 10}}
+	if got := histQuantile(over, 0.99); got != 1e-6 {
+		t.Errorf("p99 in +Inf = %v, want clamp to 1e-6", got)
+	}
+	if got := histQuantile(nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("empty quantile = %v, want NaN", got)
+	}
+}
+
+func TestSubBuckets(t *testing.T) {
+	cur := []bucket{{le: 1e-6, count: 10}, {le: math.Inf(1), count: 20}}
+	prev := []bucket{{le: 1e-6, count: 4}, {le: math.Inf(1), count: 5}}
+	d := subBuckets(cur, prev)
+	if d[0].count != 6 || d[1].count != 15 {
+		t.Errorf("subBuckets = %+v, want 6/15", d)
+	}
+	if got := subBuckets(cur, nil); got[0].count != 10 {
+		t.Errorf("nil prev should pass through, got %+v", got)
+	}
+}
+
+func TestSlowURL(t *testing.T) {
+	if got := slowURL("http://h:6060/metrics"); got != "http://h:6060/traces/slow" {
+		t.Errorf("slowURL = %q", got)
 	}
 }
 

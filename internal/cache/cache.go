@@ -77,6 +77,12 @@ var (
 	gEvictions = scstats.GaugeFor("cache.evictions")
 	gBytesLive = scstats.GaugeFor("cache.bytes_live")
 	gCoalesced = scstats.GaugeFor("cache.coalesced_misses")
+
+	// hMissFill times the leader's backing fetch on a cache miss — the
+	// server round trip that fills the entry. Hits and coalesced
+	// followers never touch it, so the histogram prices exactly the
+	// cold path. Exposed as cache_miss_fill_seconds.
+	hMissFill = scstats.HistFor("cache.miss_fill")
 )
 
 // Trace names: hits and coalesced waits are instantaneous events; a miss
@@ -348,7 +354,9 @@ func (m *Manager) serveCacheable(e *entry, req *buffer.Buffer, info *kernel.Info
 	m.misses.Add(1)
 	scStats.Misses.Add(1)
 	sp := trace.Begin(info, spanMiss)
+	fillStart := hMissFill.Start()
 	rep, err := m.env.Domain.CallInfo(e.h, req, info)
+	hMissFill.ObserveSince(fillStart, info.ExemplarTrace())
 	sp.End(info, err)
 
 	// Only door-free replies are cacheable: a door reference is a

@@ -251,6 +251,7 @@ func WithTraceContext(info *kernel.Info) CallOption {
 		c.info.Trace = info.Trace
 		c.info.Span = info.Span
 		c.info.Parent = info.Parent
+		c.info.Spec = info.Spec
 	}
 }
 
@@ -265,6 +266,10 @@ func WithTraceContext(info *kernel.Info) CallOption {
 // the options left untraced consults trace.MaybeHead, so when sampling is
 // enabled (-trace-sample) every 1-in-n outermost call becomes the root of
 // a new distributed trace. With sampling off this costs one atomic load.
+// A call head sampling declined may still be speculatively traced for
+// tail capture (trace.TailArm) when a slow threshold is configured
+// (-trace-slow): its spans buffer on the side and are kept only if the
+// root span runs slow. With tail capture off this costs one atomic load.
 func NewCall(op OpNum, opts ...CallOption) *Call {
 	c := &Call{Op: op}
 	for _, o := range opts {
@@ -272,6 +277,12 @@ func NewCall(op OpNum, opts ...CallOption) *Call {
 	}
 	if c.info.Trace == 0 {
 		c.info.Trace = trace.MaybeHead()
+		if c.info.Trace == 0 && trace.TailEnabled() {
+			if id := trace.TailArm(); id != 0 {
+				c.info.Trace = id
+				c.info.Spec = true
+			}
+		}
 	}
 	return c
 }

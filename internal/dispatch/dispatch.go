@@ -67,6 +67,12 @@ var (
 	gStolen      = scstats.GaugeFor("dispatch.stolen")
 	gShed        = scstats.GaugeFor("dispatch.shed")
 	gWorkersLive = scstats.GaugeFor("dispatch.workers_live")
+
+	// hQueueDelay measures Submit→poll latency — how long admitted work
+	// sat in a run queue before a worker picked it up. The inline fast
+	// path never touches it, so the histogram prices exactly the queued
+	// slow path. Exposed as dispatch_queue_delay_seconds.
+	hQueueDelay = scstats.HistFor("dispatch.queue_delay")
 )
 
 // NoteInline records one call served on the inline fast path (executed
@@ -98,6 +104,7 @@ type Config struct {
 type item struct {
 	prio int32
 	seq  uint64
+	at   int64 // scstats tick at Submit, for the queue-delay histogram
 	run  func()
 }
 
@@ -199,7 +206,7 @@ func (e *Engine) Submit(prio int32, fn func()) error {
 			sh.mu.Unlock()
 			continue // spill to the next shard before shedding
 		}
-		heap.Push(&sh.q, item{prio: prio, seq: seq, run: fn})
+		heap.Push(&sh.q, item{prio: prio, seq: seq, at: hQueueDelay.Start(), run: fn})
 		e.queued.Add(1)
 		sh.mu.Unlock()
 		gQueued.Add(1)
@@ -228,6 +235,7 @@ func (e *Engine) poll(i int) (func(), bool) {
 		e.queued.Add(-1)
 		sh.mu.Unlock()
 		gQueued.Add(-1)
+		hQueueDelay.ObserveSince(it.at, 0)
 		if k > 0 {
 			gStolen.Add(1)
 		}

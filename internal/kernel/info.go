@@ -53,6 +53,14 @@ type Info struct {
 	// there. Meaningless when Trace is 0.
 	Span   uint64
 	Parent uint64
+	// Spec marks Trace as a speculative tail-capture trace: head sampling
+	// declined this call, but a slow threshold is configured, so the trace
+	// layer buffers its spans on the side and commits them to the slow
+	// ring only if the root span exceeds the threshold (internal/trace
+	// tail capture). Speculative traces are a local bet — the network door
+	// servers do not propagate them over the wire, and exemplar recording
+	// skips them (most are abandoned). Meaningless when Trace is 0.
+	Spec bool
 	// Priority is the caller's scheduling priority for this call (higher
 	// runs first; 0 is the default). The priority subcontract sets it
 	// from the calling domain's environment slot, core.WithPriority sets
@@ -79,6 +87,17 @@ func (in *Info) Err() error {
 		return ErrDeadlineExceeded
 	}
 	return nil
+}
+
+// ExemplarTrace returns the trace ID to attach to metric exemplars: the
+// call's trace when it is a real (head-sampled or wire-propagated) trace,
+// 0 when untraced or speculative — a speculative trace is usually
+// abandoned and would leave the exemplar dangling.
+func (in *Info) ExemplarTrace() uint64 {
+	if in == nil || in.Spec {
+		return 0
+	}
+	return in.Trace
 }
 
 // Remaining returns the budget left before the deadline. ok is false when

@@ -97,6 +97,10 @@ type peerState struct {
 	downSince time.Time
 	lapsed    bool
 	queue     []pendingRelease
+
+	// red is the per-peer RED block (rate/errors/duration histogram),
+	// interned once here so the forward path records without a lookup.
+	red *scstats.PeerStats
 }
 
 type pendingRelease struct {
@@ -119,7 +123,7 @@ const maxQueuedReleases = 4096
 func (s *Server) peerLocked(addr string) *peerState {
 	p, ok := s.peers[addr]
 	if !ok {
-		p = &peerState{addr: addr}
+		p = &peerState{addr: addr, red: scstats.PeerFor(addr)}
 		s.peers[addr] = p
 	}
 	return p

@@ -909,7 +909,10 @@ func (s *Server) forward(desc descriptor, p *peerState, epoch uint64, req *buffe
 	sp := trace.Begin(info, spanSend)
 	reply, err := s.forwardInfo(desc, p, epoch, req, info)
 	sp.End(info, err)
-	stats.End(begin, err)
+	// One clock pair covers both the netd aggregate and the per-peer RED
+	// histogram: EndCall returns the duration it measured.
+	d := stats.EndCall(begin, scstats.OpNone, info.ExemplarTrace(), err)
+	p.red.Record(d, info.ExemplarTrace(), err)
 	return reply, err
 }
 
@@ -1615,7 +1618,7 @@ func (s *Server) runCall(c *conn, reqID uint64, h kernel.Handle, req *buffer.Buf
 	sp := trace.Begin(info, spanServe)
 	out, err := s.dom.CallInfo(h, req, info)
 	sp.End(info, err)
-	serveStats.End(start, err)
+	serveStats.EndCall(start, scstats.OpNone, info.ExemplarTrace(), err)
 	trace.Event(info, spanReply)
 	switch {
 	case err == nil:

@@ -116,7 +116,10 @@ func putInfoHeader(out *buffer.Buffer, info *kernel.Info) {
 			}
 			budget = rem
 		}
-		if info.Trace != 0 {
+		if info.Trace != 0 && !info.Spec {
+			// Speculative tail-capture traces stay on-process: the
+			// slow-or-not bet is settled client-side, and the server has
+			// no buffer to settle against (see internal/trace tail.go).
 			flags |= ctxHasTrace
 		}
 		if info.Priority != 0 {

@@ -1,0 +1,99 @@
+package scstats
+
+import (
+	"sync"
+	_ "unsafe" // for go:linkname
+)
+
+// The latency clock.
+//
+// The always-on histograms read the clock twice per call, so the clock is
+// the dominant cost of the latency plane — a cost the old 1-in-8 sampler
+// paid only on sampled calls. time.Now is the wrong tool: it reads both
+// the wall and monotonic clocks and builds a 24-byte struct. The plane
+// instead records in *ticks* of the cheapest monotonic counter the
+// platform offers:
+//
+//   - amd64: raw RDTSC (clock_amd64.s). On bare metal with an invariant
+//     TSC this is single-digit nanoseconds; virtualized hosts that trap
+//     or scale the counter cost more but still undercut a VDSO
+//     clock_gettime.
+//   - elsewhere: runtime.nanotime via linkname — the monotonic half of
+//     time.Now without the wall-clock read.
+//
+// Ticks are meaningless across processes, so nothing hot ever converts:
+// bucket indices are computed in ticks and only snapshot/exposition code
+// maps bucket bounds to nanoseconds, through a tick→ns scale calibrated
+// against runtime.nanotime. The scale is frozen on first use — bucket
+// bounds must be stable across scrapes or every scrape would mint new
+// Prometheus series — and by the time anything snapshots, the calibration
+// window is long enough for ~0.1% accuracy (a fraction of the ~6% bucket
+// width).
+
+//go:linkname nanotime runtime.nanotime
+func nanotime() int64
+
+// clockBase anchors calibration: the tick and nanotime readings taken at
+// process start.
+var clockBase struct {
+	ticks int64
+	nano  int64
+}
+
+func init() {
+	clockBase.ticks = clockNow()
+	clockBase.nano = nanotime()
+}
+
+var (
+	scaleOnce sync.Once
+	nsPerTick float64
+)
+
+// tickScale returns the frozen nanoseconds-per-tick conversion factor.
+// The first caller calibrates it from the elapsed (tick, nanotime) pair
+// since init, spinning briefly if the process is younger than the minimum
+// calibration window.
+func tickScale() float64 {
+	scaleOnce.Do(func() {
+		if !tickClockIsTSC {
+			nsPerTick = 1
+			return
+		}
+		// 500µs of elapsed base bounds the calibration error well under
+		// the histogram's bucket resolution; processes only spin here
+		// when something snapshots almost immediately after start.
+		const minWindow = 500_000
+		for nanotime()-clockBase.nano < minWindow {
+		}
+		dt := clockNow() - clockBase.ticks
+		dn := nanotime() - clockBase.nano
+		if dt <= 0 {
+			nsPerTick = 1
+			return
+		}
+		nsPerTick = float64(dn) / float64(dt)
+	})
+	return nsPerTick
+}
+
+// ticksToNs converts a tick count to nanoseconds with the frozen scale.
+func ticksToNs(t int64) int64 {
+	if t <= 0 {
+		return 0
+	}
+	return int64(float64(t) * tickScale())
+}
+
+// nsToTicks converts nanoseconds to ticks (RecordLatency and tests feed
+// durations in; the histograms store ticks).
+func nsToTicks(ns int64) int64 {
+	if ns <= 0 {
+		return 0
+	}
+	s := tickScale()
+	if s == 1 {
+		return ns
+	}
+	return int64(float64(ns) / s)
+}

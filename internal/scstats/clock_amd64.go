@@ -1,0 +1,13 @@
+//go:build amd64
+
+package scstats
+
+// clockNow returns the raw TSC tick count (clock_amd64.s). Reordering
+// slack of an unfenced RDTSC (a few cycles) is far below the histogram's
+// bucket width; cross-core reads rely on the invariant-TSC sync every
+// non-antique x86 provides, and record() clamps the rare negative delta
+// a migration skew could produce.
+func clockNow() int64
+
+// tickClockIsTSC tells the calibrator whether ticks need scaling.
+const tickClockIsTSC = true

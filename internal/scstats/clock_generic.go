@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package scstats
+
+// clockNow falls back to the runtime's monotonic clock where no cheap
+// cycle counter is wired up; ticks are nanoseconds and the scale is 1.
+func clockNow() int64 { return nanotime() }
+
+const tickClockIsTSC = false

@@ -1,22 +1,27 @@
 // Package scstats is the per-subcontract metrics registry: every
 // subcontract's client-side ops vector reports its calls, failures and
 // recovery actions here, and operators read the aggregate back as text
-// (cmd/scbench -scstats, cmd/springfsd -scstats).
+// (cmd/scbench -scstats, cmd/springfsd -scstats) or through the telemetry
+// plane (/metrics, /statz).
 //
 // The design is dictated by the minimal-call path budget (≤30 ns over the
-// bare singleton call, see bench E14):
+// bare singleton call, see bench E14 and the E22 record-cost sweep):
 //
-//   - A Stats is a flat struct of atomic counters. Recording a call is one
-//     atomic add plus, for a sampled subset, two time.Now reads and a
-//     histogram-bucket add. No locks, no maps, no interface dispatch on the
-//     hot path.
+//   - A Stats is a flat struct of atomic counters plus always-on HDR
+//     latency histograms (hist.go). Recording a call is one atomic add for
+//     the call counter, two reads of the cheap tick clock (clock.go), and
+//     one striped atomic add into a log bucket. No locks, no maps, no
+//     allocation, no interface dispatch on the hot path.
+//   - Every call is measured — the 1-in-8 sampler of the v1 plane is gone.
+//     Percentiles (p50/p90/p99/p999) come from the bucket counts via the
+//     mergeable HistSnapshot API; sampling survives only as the
+//     RecordSampled8 mode, kept so E22 can price always-on against it.
+//   - Latency is keyed by subcontract × op: EndCall records into a per-op
+//     histogram (ops above maxOps share an overflow slot) and snapshots
+//     merge the per-op histograms into the subcontract aggregate.
 //   - Subcontracts intern their Stats once (For in a package var or an ops
 //     constructor) rather than looking the name up per call; For takes the
 //     registry lock only on first use of a name.
-//   - Latency is sampled 1-in-sampleEvery calls, using the call counter
-//     itself as the sampling clock — deterministic, allocation-free, and
-//     the first call of a run is always sampled so short test runs still
-//     produce nonzero latency data.
 //
 // Counters deliberately mirror the failure taxonomy in core/errors.go:
 // Errors counts all failed invokes, with DeadlineExceeded and Cancelled
@@ -27,23 +32,51 @@ package scstats
 import (
 	"fmt"
 	"io"
-	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// sampleEvery is the latency sampling period: call n has its latency
-// measured when n % sampleEvery == 0. The counter is incremented before
-// the check, so the first call (n=1 → pre-increment 0) is sampled.
+// sampleEvery is the RecordSampled8 sampling period (the v1 plane's
+// behavior, kept for the E22 comparison): call n has its latency measured
+// when n % sampleEvery == 0, counter incremented before the check so the
+// first call of a run is sampled.
 const sampleEvery = 8
 
-// nBuckets is the number of power-of-two latency buckets. Bucket i holds
-// samples with latency in [2^i, 2^(i+1)) nanoseconds; the last bucket is
-// unbounded. 2^31 ns ≈ 2.1 s, so the range covers sub-microsecond door
-// calls through multi-second network timeouts.
-const nBuckets = 32
+// RecordMode selects what Begin/EndCall do with the clock and the
+// histogram. The default, RecordAlways, is the production plane; the
+// other modes exist so the E22 sweep can decompose the record cost.
+type RecordMode int32
+
+const (
+	// RecordAlways measures and records every call (the default).
+	RecordAlways RecordMode = iota
+	// RecordSampled8 measures 1 in 8 calls — the v1 plane's behavior.
+	RecordSampled8
+	// RecordTimed reads the clock on every call but skips the histogram
+	// write: the E22 guard baselines against it so the guarded delta is
+	// the record cost proper, independent of what the host's clock costs.
+	RecordTimed
+	// RecordOff never reads the clock; only counters advance.
+	RecordOff
+)
+
+var recMode atomic.Int32 // holds a RecordMode; zero value = RecordAlways
+
+// SetRecordMode switches the process-wide record mode (benchmarks only).
+func SetRecordMode(m RecordMode) { recMode.Store(int32(m)) }
+
+// Mode returns the current record mode.
+func Mode() RecordMode { return RecordMode(recMode.Load()) }
+
+// OpNone keys EndCall recordings that carry no op number; they land in
+// the subcontract's unkeyed histogram rather than a per-op slot.
+const OpNone = ^uint32(0)
+
+// maxOps bounds the per-op histogram table; ops numbered maxOps or above
+// share one overflow slot so a hostile op number can't grow memory.
+const maxOps = 64
 
 // Stats is one subcontract's counter block. All fields are manipulated
 // atomically; a Stats must not be copied after first use.
@@ -76,50 +109,109 @@ type Stats struct {
 	Misses    atomic.Uint64
 	Coalesced atomic.Uint64
 
-	// Latency histogram over sampled calls: samples[i] counts sampled
-	// calls whose wall time fell in bucket i, latencySum/latencyCount the
-	// total over all samples (for the mean).
-	samples      [nBuckets]atomic.Uint64
-	latencySum   atomic.Uint64 // nanoseconds
-	latencyCount atomic.Uint64
+	// lat holds durations recorded without an op number (End,
+	// RecordLatency); ops is the per-op histogram table, grown on first
+	// use of an op and published atomically so readers stay lock-free.
+	lat  *Hist
+	ops  atomic.Pointer[[]*Hist]
+	opMu sync.Mutex
+}
+
+func newStats(name string) *Stats {
+	return &Stats{name: name, lat: newHist()}
 }
 
 // Name returns the subcontract name this block was interned under.
 func (s *Stats) Name() string { return s.name }
 
 // Begin records the start of an invocation and returns the value to pass
-// to End. For unsampled calls it does one atomic add and returns 0; for
-// sampled calls it also reads the clock.
+// to End/EndCall: a tick timestamp when the record mode wants this call
+// measured, else 0.
 func (s *Stats) Begin() (start int64) {
 	if s == nil {
 		return 0
 	}
 	n := s.Calls.Add(1)
-	if (n-1)%sampleEvery == 0 {
-		return time.Now().UnixNano()
+	switch RecordMode(recMode.Load()) {
+	case RecordAlways, RecordTimed:
+		return clockNow()
+	case RecordSampled8:
+		if (n-1)%sampleEvery == 0 {
+			return clockNow()
+		}
 	}
 	return 0
 }
 
-// End records the completion of an invocation begun at start (the Begin
-// return value) with outcome err. It classifies the error and, when the
-// call was sampled (start != 0), records its latency.
-func (s *Stats) End(start int64, err error) {
+// EndCall records the completion of an invocation begun at start (the
+// Begin return value) with outcome err, keyed by op (OpNone for unkeyed).
+// traceID, when nonzero, becomes the exemplar of whatever latency bucket
+// the call lands in — callers pass the call's trace ID for head-sampled
+// traces and 0 otherwise (speculative tail-capture traces are usually
+// abandoned and would leave dangling exemplars). It returns the measured
+// duration in clock ticks, 0 if none was taken; netd reuses it for the
+// per-peer histogram so a forwarded call reads the clock only once.
+func (s *Stats) EndCall(start int64, op uint32, traceID uint64, err error) int64 {
 	if s == nil {
-		return
+		return 0
 	}
+	var d int64
 	if start != 0 {
-		s.RecordLatency(time.Duration(time.Now().UnixNano() - start))
+		d = clockNow() - start
+		if RecordMode(recMode.Load()) != RecordTimed {
+			s.histOf(op).record(d, traceID)
+		} else {
+			d = 0
+		}
 	}
 	if err != nil {
 		s.Error(err)
 	}
+	return d
+}
+
+// End records an unkeyed completion (no op number, no exemplar).
+func (s *Stats) End(start int64, err error) {
+	s.EndCall(start, OpNone, 0, err)
+}
+
+// histOf returns the histogram for op, growing the table on first use.
+func (s *Stats) histOf(op uint32) *Hist {
+	if op == OpNone {
+		return s.lat
+	}
+	if op > maxOps {
+		op = maxOps
+	}
+	if t := s.ops.Load(); t != nil && int(op) < len(*t) && (*t)[op] != nil {
+		return (*t)[op]
+	}
+	return s.growOp(op)
+}
+
+func (s *Stats) growOp(op uint32) *Hist {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	var table []*Hist
+	if t := s.ops.Load(); t != nil {
+		if int(op) < len(*t) && (*t)[op] != nil {
+			return (*t)[op]
+		}
+		table = append(table, *t...)
+	}
+	for len(table) <= int(op) {
+		table = append(table, nil)
+	}
+	h := newHist()
+	table[op] = h
+	s.ops.Store(&table)
+	return h
 }
 
 // FailFast records an invocation rejected before it reached the
 // subcontract's invoke path — an already-ended context caught at the stub
 // layer. The attempt counts as a call and the ending is classified, but no
-// latency is sampled: the rejection's cost says nothing about the
+// latency is recorded: the rejection's cost says nothing about the
 // subcontract's dispatch path.
 func (s *Stats) FailFast(err error) {
 	if s == nil {
@@ -145,31 +237,13 @@ func (s *Stats) Error(err error) {
 	}
 }
 
-// RecordLatency adds one latency sample to the histogram.
+// RecordLatency adds one latency observation to the unkeyed histogram
+// (callers that measured the duration themselves).
 func (s *Stats) RecordLatency(d time.Duration) {
 	if s == nil {
 		return
 	}
-	ns := int64(d)
-	if ns < 0 {
-		ns = 0
-	}
-	b := bucketOf(uint64(ns))
-	s.samples[b].Add(1)
-	s.latencySum.Add(uint64(ns))
-	s.latencyCount.Add(1)
-}
-
-// bucketOf maps a nanosecond latency to its power-of-two bucket index.
-func bucketOf(ns uint64) int {
-	if ns == 0 {
-		return 0
-	}
-	b := bits.Len64(ns) - 1
-	if b >= nBuckets {
-		b = nBuckets - 1
-	}
-	return b
+	s.lat.Observe(d, 0)
 }
 
 // Snapshot is a consistent-enough copy of one Stats block for exposition
@@ -187,13 +261,25 @@ type Snapshot struct {
 	Misses           uint64
 	Coalesced        uint64
 
+	// LatencySamples counts recorded durations (every call, in the
+	// default record mode); LatencyMean and LatencySum are estimated
+	// from the histogram's bucket midpoints (≤ ~6% bucket width error).
 	LatencySamples uint64
 	LatencyMean    time.Duration
-	// LatencySum is the total sampled latency (for exposition formats
-	// that want sum+count rather than a precomputed mean).
-	LatencySum time.Duration
-	// Buckets[i] counts sampled calls in [2^i, 2^(i+1)) ns.
-	Buckets [nBuckets]uint64
+	LatencySum     time.Duration
+
+	// Lat is the subcontract aggregate histogram (per-op histograms
+	// merged with the unkeyed one); Ops the per-op breakdown, sparse.
+	Lat HistSnapshot
+	Ops []OpSnapshot
+}
+
+// OpSnapshot is one op's latency histogram within a subcontract.
+type OpSnapshot struct {
+	Op uint32
+	// Overflow marks the shared slot holding every op ≥ maxOps.
+	Overflow bool
+	Lat      HistSnapshot
 }
 
 func (s *Stats) snapshot() Snapshot {
@@ -209,14 +295,26 @@ func (s *Stats) snapshot() Snapshot {
 		Hits:             s.Hits.Load(),
 		Misses:           s.Misses.Load(),
 		Coalesced:        s.Coalesced.Load(),
-		LatencySamples:   s.latencyCount.Load(),
 	}
-	sn.LatencySum = time.Duration(s.latencySum.Load())
-	if sn.LatencySamples > 0 {
-		sn.LatencyMean = sn.LatencySum / time.Duration(sn.LatencySamples)
+	lat := s.lat.histSnapshot()
+	if t := s.ops.Load(); t != nil {
+		for op, h := range *t {
+			if h == nil {
+				continue
+			}
+			hs := h.histSnapshot()
+			if hs.Count == 0 {
+				continue
+			}
+			sn.Ops = append(sn.Ops, OpSnapshot{Op: uint32(op), Overflow: op == maxOps, Lat: hs})
+			lat = lat.Merge(hs)
+		}
 	}
-	for i := range s.samples {
-		sn.Buckets[i] = s.samples[i].Load()
+	sn.Lat = lat
+	sn.LatencySamples = lat.Count
+	sn.LatencySum = time.Duration(lat.SumNs)
+	if lat.Count > 0 {
+		sn.LatencyMean = time.Duration(lat.Mean())
 	}
 	return sn
 }
@@ -233,7 +331,9 @@ func (s *Stats) snapshot() Snapshot {
 
 // Gauge is one named int64 value. Monotonic event counts (leases expired,
 // releases replayed) and instantaneous levels (live connections) both use
-// it; the name says which it is.
+// it; the name says which it is, and the telemetry plane's exposition
+// keeps a list of the monotonic ones so they surface as Prometheus
+// counters rather than gauges.
 type Gauge struct {
 	name string
 	v    atomic.Int64
@@ -327,7 +427,7 @@ func For(name string) *Stats {
 	if v, ok := registry.Load(name); ok {
 		return v.(*Stats)
 	}
-	v, _ := registry.LoadOrStore(name, &Stats{name: name})
+	v, _ := registry.LoadOrStore(name, newStats(name))
 	return v.(*Stats)
 }
 
@@ -361,9 +461,10 @@ func AllSnapshots() []Snapshot {
 	return out
 }
 
-// Reset zeroes every interned counter block. Intended for tests and for
-// benchmark harnesses that report per-phase deltas; the blocks themselves
-// stay interned so cached pointers remain valid.
+// Reset zeroes every interned counter block, histogram, gauge and peer.
+// Intended for tests and for benchmark harnesses that report per-phase
+// deltas; the blocks themselves stay interned so cached pointers remain
+// valid.
 func Reset() {
 	registry.Range(func(_, v any) bool {
 		s := v.(*Stats)
@@ -377,22 +478,36 @@ func Reset() {
 		s.Hits.Store(0)
 		s.Misses.Store(0)
 		s.Coalesced.Store(0)
-		for i := range s.samples {
-			s.samples[i].Store(0)
+		s.lat.reset()
+		if t := s.ops.Load(); t != nil {
+			for _, h := range *t {
+				if h != nil {
+					h.reset()
+				}
+			}
 		}
-		s.latencySum.Store(0)
-		s.latencyCount.Store(0)
 		return true
 	})
 	gauges.Range(func(_, v any) bool {
 		v.(*Gauge).v.Store(0)
 		return true
 	})
+	hists.Range(func(_, v any) bool {
+		v.(*namedHist).h.reset()
+		return true
+	})
+	peers.Range(func(_, v any) bool {
+		p := v.(*PeerStats)
+		p.Calls.Store(0)
+		p.Errors.Store(0)
+		p.lat.reset()
+		return true
+	})
 }
 
-// WriteText writes the registry in a aligned human-readable table, one
-// subcontract per stanza: the counter line, then a sparse histogram line
-// listing only occupied buckets.
+// WriteText writes the registry in an aligned human-readable table, one
+// subcontract per stanza: the counter line, then a latency line with the
+// mean and the tail percentiles from the always-on histogram.
 func WriteText(w io.Writer) error {
 	sns := Snapshots()
 	gsns := GaugeSnapshots()
@@ -410,18 +525,11 @@ func WriteText(w io.Writer) error {
 		if sn.LatencySamples == 0 {
 			continue
 		}
-		if _, err := fmt.Fprintf(w, "%-14s latency mean=%v samples=%d", "", sn.LatencyMean, sn.LatencySamples); err != nil {
-			return err
-		}
-		for i, c := range sn.Buckets {
-			if c == 0 {
-				continue
-			}
-			if _, err := fmt.Fprintf(w, " [%v,%v)=%d", time.Duration(uint64(1)<<i), time.Duration(uint64(2)<<i), c); err != nil {
-				return err
-			}
-		}
-		if _, err := fmt.Fprintln(w); err != nil {
+		if _, err := fmt.Fprintf(w, "%-14s latency mean=%v p50=%v p90=%v p99=%v p999=%v samples=%d\n",
+			"", sn.LatencyMean,
+			time.Duration(sn.Lat.Quantile(0.50)), time.Duration(sn.Lat.Quantile(0.90)),
+			time.Duration(sn.Lat.Quantile(0.99)), time.Duration(sn.Lat.Quantile(0.999)),
+			sn.LatencySamples); err != nil {
 			return err
 		}
 	}

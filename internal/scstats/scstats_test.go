@@ -22,9 +22,34 @@ func TestForInternsOnce(t *testing.T) {
 	}
 }
 
-func TestBeginEndCountsAndSamples(t *testing.T) {
+func TestBeginEndAlwaysOn(t *testing.T) {
 	Reset()
 	s := For("beginend")
+	const n = 16
+	for i := 0; i < n; i++ {
+		start := s.Begin()
+		if start == 0 {
+			t.Fatalf("call %d: not measured under RecordAlways", i)
+		}
+		s.End(start, nil)
+	}
+	sn := s.snapshot()
+	if sn.Calls != n {
+		t.Fatalf("Calls = %d, want %d", sn.Calls, n)
+	}
+	if sn.LatencySamples != n {
+		t.Fatalf("LatencySamples = %d, want %d (every call recorded)", sn.LatencySamples, n)
+	}
+	if sn.Errors != 0 {
+		t.Fatalf("Errors = %d, want 0", sn.Errors)
+	}
+}
+
+func TestRecordModeSampled8(t *testing.T) {
+	Reset()
+	SetRecordMode(RecordSampled8)
+	defer SetRecordMode(RecordAlways)
+	s := For("sampled8")
 	for i := 0; i < 2*sampleEvery; i++ {
 		start := s.Begin()
 		// Call 0 and call sampleEvery are sampled.
@@ -40,17 +65,71 @@ func TestBeginEndCountsAndSamples(t *testing.T) {
 	if sn.LatencySamples != 2 {
 		t.Fatalf("LatencySamples = %d, want 2", sn.LatencySamples)
 	}
-	if sn.Errors != 0 {
-		t.Fatalf("Errors = %d, want 0", sn.Errors)
+}
+
+func TestRecordModeTimedAndOff(t *testing.T) {
+	Reset()
+	defer SetRecordMode(RecordAlways)
+
+	SetRecordMode(RecordTimed)
+	s := For("modetimed")
+	start := s.Begin()
+	if start == 0 {
+		t.Fatal("RecordTimed should read the clock")
+	}
+	if d := s.EndCall(start, OpNone, 0, nil); d != 0 {
+		t.Fatalf("RecordTimed EndCall returned %d, want 0 (nothing recorded)", d)
+	}
+	if sn := s.snapshot(); sn.LatencySamples != 0 {
+		t.Fatalf("RecordTimed recorded %d samples, want 0", sn.LatencySamples)
+	}
+
+	SetRecordMode(RecordOff)
+	if start := s.Begin(); start != 0 {
+		t.Fatal("RecordOff should not read the clock")
+	}
+	if sn := s.snapshot(); sn.Calls != 2 {
+		t.Fatalf("Calls = %d, want 2", sn.Calls)
 	}
 }
 
-func TestFirstCallIsSampled(t *testing.T) {
+func TestEndCallPerOp(t *testing.T) {
+	Reset()
+	s := For("perop")
+	s.EndCall(s.Begin(), 3, 0, nil)
+	s.EndCall(s.Begin(), 3, 0, nil)
+	s.EndCall(s.Begin(), 7, 0, nil)
+	s.End(s.Begin(), nil) // unkeyed
+	// An op past the table bound lands in the shared overflow slot.
+	s.EndCall(s.Begin(), maxOps+41, 0, nil)
+
+	sn := s.snapshot()
+	if sn.LatencySamples != 5 {
+		t.Fatalf("aggregate samples = %d, want 5", sn.LatencySamples)
+	}
+	got := map[uint32]uint64{}
+	overflow := uint64(0)
+	for _, op := range sn.Ops {
+		if op.Overflow {
+			overflow = op.Lat.Count
+			continue
+		}
+		got[op.Op] = op.Lat.Count
+	}
+	if got[3] != 2 || got[7] != 1 {
+		t.Fatalf("per-op counts = %v, want op3=2 op7=1", got)
+	}
+	if overflow != 1 {
+		t.Fatalf("overflow count = %d, want 1", overflow)
+	}
+}
+
+func TestFirstCallIsMeasured(t *testing.T) {
 	Reset()
 	s := For("firstcall")
 	start := s.Begin()
 	if start == 0 {
-		t.Fatalf("first call not sampled")
+		t.Fatalf("first call not measured")
 	}
 	s.End(start, nil)
 	if sn := s.snapshot(); sn.LatencySamples != 1 {
@@ -72,21 +151,6 @@ func TestErrorClassification(t *testing.T) {
 	}
 }
 
-func TestBucketOf(t *testing.T) {
-	cases := []struct {
-		ns   uint64
-		want int
-	}{
-		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {1023, 9}, {1024, 10},
-		{1 << 40, nBuckets - 1},
-	}
-	for _, c := range cases {
-		if got := bucketOf(c.ns); got != c.want {
-			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
-		}
-	}
-}
-
 func TestTextExposition(t *testing.T) {
 	Reset()
 	s := For("textsc")
@@ -100,7 +164,7 @@ func TestTextExposition(t *testing.T) {
 	if !strings.Contains(txt, "calls=1") || !strings.Contains(txt, "hits=3") {
 		t.Fatalf("exposition missing counters:\n%s", txt)
 	}
-	if !strings.Contains(txt, "latency mean=") {
+	if !strings.Contains(txt, "latency mean=") || !strings.Contains(txt, "p99=") {
 		t.Fatalf("exposition missing latency line:\n%s", txt)
 	}
 }
@@ -118,6 +182,7 @@ func TestSnapshotsOmitIdle(t *testing.T) {
 func TestNilStatsSafe(t *testing.T) {
 	var s *Stats
 	s.End(s.Begin(), errors.New("x"))
+	s.EndCall(0, 1, 0, nil)
 	s.Error(nil)
 	s.RecordLatency(time.Second)
 }
@@ -138,6 +203,9 @@ func TestConcurrentRecording(t *testing.T) {
 	wg.Wait()
 	if got := s.Calls.Load(); got != 8000 {
 		t.Fatalf("Calls = %d, want 8000", got)
+	}
+	if sn := s.snapshot(); sn.LatencySamples != 8000 {
+		t.Fatalf("LatencySamples = %d, want 8000", sn.LatencySamples)
 	}
 }
 

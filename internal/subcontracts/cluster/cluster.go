@@ -134,7 +134,7 @@ func (ops) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	sp := trace.Begin(call.Info(), spanInvoke)
 	reply, err := invoke(obj, call)
 	sp.End(call.Info(), err)
-	stats.End(begin, err)
+	stats.EndCall(begin, uint32(call.Op), call.Info().ExemplarTrace(), err)
 	return reply, err
 }
 

@@ -151,7 +151,7 @@ func (o *Ops) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) 
 	}
 	reply, err := o.invoke(obj, call)
 	sp.End(call.Info(), err)
-	st.End(start, err)
+	st.EndCall(start, uint32(call.Op), call.Info().ExemplarTrace(), err)
 	return reply, err
 }
 

@@ -35,7 +35,7 @@ func FastCall(obj *core.Object, op core.OpNum, marshalArgs, unmarshalResults stu
 	st := sc.Stats()
 	begin := st.Begin()
 	err := fastCall(obj, sc, op, marshalArgs, unmarshalResults, opts)
-	st.End(begin, err)
+	st.EndCall(begin, uint32(op), 0, err)
 	return err
 }
 

@@ -160,7 +160,7 @@ func (s *SC) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error) {
 	sp := trace.Begin(call.Info(), spanInvoke)
 	reply, err := s.invoke(obj, call)
 	sp.End(call.Info(), err)
-	st.End(begin, err)
+	st.EndCall(begin, uint32(call.Op), call.Info().ExemplarTrace(), err)
 	return reply, err
 }
 

@@ -171,7 +171,7 @@ func (localOps) Invoke(obj *core.Object, call *core.Call) (*buffer.Buffer, error
 	sp := trace.Begin(call.Info(), spanLocalInvoke)
 	reply, err := localInvoke(obj, call)
 	sp.End(call.Info(), err)
-	localStats.End(begin, err)
+	localStats.EndCall(begin, uint32(call.Op), call.Info().ExemplarTrace(), err)
 	return reply, err
 }
 

@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/netd"
+	"repro/internal/sctest"
+	"repro/internal/stubs"
+	"repro/internal/subcontracts/singleton"
+	"repro/internal/trace"
+)
+
+// TestMetricsExemplars: a traced call leaves its trace ID on the latency
+// bucket it landed in, and /metrics emits it as an exemplar suffix.
+func TestMetricsExemplars(t *testing.T) {
+	trace.Reset()
+	t.Cleanup(trace.Reset)
+	s := startPlane(t)
+	traceID := twoMachineCall(t)
+
+	code, body := get(t, "http://"+s.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	if !strings.Contains(body, `# {trace_id="`) {
+		t.Fatal("/metrics has no bucket exemplars after a traced call")
+	}
+	if !strings.Contains(body, fmt.Sprintf(`trace_id="%016x"`, traceID)) {
+		t.Errorf("/metrics exemplars never mention the traced call %016x", traceID)
+	}
+	// The stale v1 HELP text is gone: recording is always-on now.
+	if strings.Contains(body, "1 in 8") {
+		t.Error("/metrics still advertises the old 1-in-8 sampled recording")
+	}
+}
+
+// TestSlowTraceTailConformance is the PR's acceptance case: with head
+// sampling fully off (-trace-sample 0), a call that exceeds the slow
+// threshold is still retrievable at /traces/slow with its span tree,
+// while fast calls leave nothing behind.
+func TestSlowTraceTailConformance(t *testing.T) {
+	trace.Reset()
+	t.Cleanup(trace.Reset)
+	trace.SetSampling(0)
+	trace.SetSlowDefault(5 * time.Millisecond)
+	t.Cleanup(func() { trace.SetSlowDefault(0) })
+	s := startPlane(t)
+
+	// Two in-process machines; the exported skeleton sleeps past the
+	// threshold on get, returns instantly on add.
+	kA := kernel.New("slowA")
+	netA, err := netd.Start(kA.NewDomain("slowA-netd"), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { netA.Close() })
+	kB := kernel.New("slowB")
+	netB, err := netd.Start(kB.NewDomain("slowB-netd"), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { netB.Close() })
+
+	envA, err := sctest.NewEnv(kA, "slowA-app", singleton.Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sleeper := stubs.SkeletonFunc(func(op core.OpNum, args, results *buffer.Buffer) error {
+		if op == sctest.OpGet {
+			time.Sleep(25 * time.Millisecond)
+			results.WriteInt64(0)
+			return nil
+		}
+		if _, err := args.ReadInt64(); err != nil {
+			return err
+		}
+		results.WriteInt64(0)
+		return nil
+	})
+	obj, _ := singleton.Export(envA, sctest.CounterMT, sleeper, nil)
+	netA.PublishRoot("slow", obj)
+
+	envB, err := sctest.NewEnv(kB, "slowB-app", singleton.Register)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := netB.ImportRootObject(envB, netA.Addr(), "slow", sctest.CounterMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fast call: armed speculatively, settled under threshold, dropped.
+	if _, err := sctest.Add(remote, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The slow call tail capture must catch.
+	if _, err := sctest.Get(remote); err != nil {
+		t.Fatal(err)
+	}
+
+	// Head sampling was off: the main ring never recorded a root.
+	if roots := trace.Roots(10); len(roots) != 0 {
+		t.Fatalf("main ring has %d roots with sampling off: %+v", len(roots), roots)
+	}
+
+	// /traces/slow lists the slow root.
+	code, body := get(t, "http://"+s.Addr()+"/traces/slow")
+	if code != http.StatusOK {
+		t.Fatalf("/traces/slow: status %d", code)
+	}
+	var listing []struct {
+		Trace    string `json:"trace"`
+		Name     string `json:"name"`
+		Duration string `json:"duration"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatalf("/traces/slow not JSON: %v\n%s", err, body)
+	}
+	var slowTrace string
+	for _, root := range listing {
+		d, err := time.ParseDuration(root.Duration)
+		if err != nil {
+			t.Fatalf("unparseable duration %q", root.Duration)
+		}
+		if d < 5*time.Millisecond {
+			t.Errorf("/traces/slow lists a fast root: %+v", root)
+		}
+		if root.Name == "singleton.invoke" {
+			slowTrace = root.Trace
+		}
+	}
+	if slowTrace == "" {
+		t.Fatalf("/traces/slow has no singleton.invoke root: %s", body)
+	}
+
+	// The full span tree resolves at /traces/{id} (via the slow ring),
+	// with the client-side wire span nested under the invoke root.
+	code, body = get(t, "http://"+s.Addr()+"/traces/"+slowTrace)
+	if code != http.StatusOK {
+		t.Fatalf("/traces/%s: status %d, body %s", slowTrace, code, body)
+	}
+	var tree []struct {
+		Name     string `json:"name"`
+		Children []struct {
+			Name string `json:"name"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal([]byte(body), &tree); err != nil {
+		t.Fatalf("slow trace not JSON: %v\n%s", err, body)
+	}
+	if len(tree) != 1 || tree[0].Name != "singleton.invoke" {
+		t.Fatalf("slow tree = %+v, want one singleton.invoke root", tree)
+	}
+	var haveSend bool
+	for _, c := range tree[0].Children {
+		if c.Name == "netd.send" {
+			haveSend = true
+		}
+	}
+	if !haveSend {
+		t.Errorf("slow tree lacks the netd.send child: %s", body)
+	}
+
+	// The speculative trace never crossed the wire: no server-side spans.
+	for _, sd := range trace.SlowCollect(mustHex(t, slowTrace)) {
+		if sd.Name == "netd.serve" || sd.Name == "skeleton" {
+			t.Errorf("speculative trace leaked across the wire: %+v", sd)
+		}
+	}
+
+	st := trace.TailStats()
+	if st.Committed == 0 || st.Abandoned == 0 {
+		t.Errorf("TailStats = %+v, want ≥1 committed (slow get) and ≥1 abandoned (fast add)", st)
+	}
+}
+
+func mustHex(t *testing.T, s string) uint64 {
+	t.Helper()
+	var v uint64
+	if _, err := fmt.Sscanf(s, "%x", &v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}

@@ -4,11 +4,15 @@
 //
 // Endpoints:
 //
-//	/metrics          every scstats counter, gauge and latency histogram
-//	                  in Prometheus text exposition format
+//	/metrics          every scstats counter, gauge and always-on latency
+//	                  histogram (with trace exemplars) in Prometheus text
+//	                  exposition format
+//	/statz            windowed rates and percentiles (?window=10s; 0 for
+//	                  totals since start, &buckets=1 for raw buckets)
 //	/traces           recent trace roots (JSON)
+//	/traces/slow      recent slow roots from the tail-capture ring (JSON)
 //	/traces/{id}      one trace as a span tree (JSON; ?format=text for a
-//	                  waterfall)
+//	                  waterfall); slow-ring traces resolve here too
 //	/healthz          liveness summary from the netd gauges: peer
 //	                  sessions, breaker states, lease health
 //	/debug/pprof/...  the standard Go profiler endpoints
@@ -35,8 +39,9 @@ import (
 
 // Server is one running telemetry listener.
 type Server struct {
-	ln   net.Listener
-	http *http.Server
+	ln    net.Listener
+	http  *http.Server
+	statz *statzState
 }
 
 // Start opens the telemetry plane on addr (e.g. ":6060", "127.0.0.1:0").
@@ -45,9 +50,12 @@ func Start(addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
+	st := newStatzState()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", handleMetrics)
+	mux.HandleFunc("/statz", st.handle)
 	mux.HandleFunc("/traces", handleTraces)
+	mux.HandleFunc("/traces/slow", handleSlowTraces)
 	mux.HandleFunc("/traces/", handleTrace)
 	mux.HandleFunc("/healthz", handleHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -55,7 +63,7 @@ func Start(addr string) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s := &Server{ln: ln, http: &http.Server{Handler: mux}}
+	s := &Server{ln: ln, http: &http.Server{Handler: mux}, statz: st}
 	go func() { _ = s.http.Serve(ln) }()
 	return s, nil
 }
@@ -63,8 +71,11 @@ func Start(addr string) (*Server, error) {
 // Addr returns the listener's bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the listener down.
-func (s *Server) Close() error { return s.http.Close() }
+// Close shuts the listener and the statz sampler down.
+func (s *Server) Close() error {
+	s.statz.close()
+	return s.http.Close()
+}
 
 // ---------------------------------------------------------------------
 // /metrics
@@ -128,6 +139,23 @@ func handleTraces(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
+// handleSlowTraces lists recent roots from the tail-capture slow ring:
+// every call that exceeded its slow threshold, whether head sampling
+// caught it or tail capture did.
+func handleSlowTraces(w http.ResponseWriter, r *http.Request) {
+	max := 50
+	if q := r.URL.Query().Get("max"); q != "" {
+		if n, err := strconv.Atoi(q); err == nil && n > 0 {
+			max = n
+		}
+	}
+	out := []traceJSON{}
+	for _, sd := range trace.SlowRoots(max) {
+		out = append(out, spanJSON(sd))
+	}
+	writeJSON(w, out)
+}
+
 func handleTrace(w http.ResponseWriter, r *http.Request) {
 	idStr := strings.TrimPrefix(r.URL.Path, "/traces/")
 	id, err := strconv.ParseUint(idStr, 16, 64)
@@ -136,6 +164,10 @@ func handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	roots := trace.Tree(id)
+	if len(roots) == 0 {
+		// Tail-captured traces live only in the slow ring.
+		roots = trace.SlowTree(id)
+	}
 	if len(roots) == 0 {
 		http.Error(w, "trace not found (unrecorded, or already overwritten)", http.StatusNotFound)
 		return

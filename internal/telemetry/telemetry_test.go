@@ -202,10 +202,16 @@ func TestMetricsEndpoint(t *testing.T) {
 			t.Errorf("/metrics missing %s", want)
 		}
 	}
-	// Gauges appear under sanitized names, even when zero.
-	for _, want := range []string{"netd_conns_live", "netd_sessions_live", "netd_breaker_opened"} {
+	// Level gauges appear under sanitized names, even when zero.
+	for _, want := range []string{"netd_conns_live", "netd_sessions_live"} {
 		if !strings.Contains(body, "# TYPE "+want+" gauge") {
 			t.Errorf("/metrics missing gauge %s", want)
+		}
+	}
+	// Monotonic event counts get counter conventions (_total suffix).
+	for _, want := range []string{"netd_breaker_opened_total", "netd_leases_expired_total"} {
+		if !strings.Contains(body, "# TYPE "+want+" counter") {
+			t.Errorf("/metrics missing counter-convention gauge %s", want)
 		}
 	}
 	// Every interned counter block is exposed (AllSnapshots contract).

@@ -13,9 +13,8 @@ type SpanData struct {
 	Duration int64  `json:"DurationNs"` // nanoseconds; 0 for events
 }
 
-// scan visits every readable slot in the ring.
-func scan(visit func(SpanData)) {
-	r := recPtr.Load()
+// scanIn visits every readable slot in a recorder (nil recorder = empty).
+func scanIn(r *recorder, visit func(SpanData)) {
 	if r == nil {
 		return
 	}
@@ -28,31 +27,35 @@ func scan(visit func(SpanData)) {
 	}
 }
 
-// Collect returns every recorded span of one trace, ordered by start time
+// scan visits every readable slot in the main ring.
+func scan(visit func(SpanData)) {
+	scanIn(recPtr.Load(), visit)
+}
+
+// collectIn returns every span of one trace in a recorder, start-ordered
 // (ties broken by span ID for determinism).
-func Collect(traceID uint64) []SpanData {
+func collectIn(r *recorder, traceID uint64) []SpanData {
 	var out []SpanData
-	scan(func(sd SpanData) {
+	scanIn(r, func(sd SpanData) {
 		if sd.TraceID == traceID {
 			out = append(out, sd)
 		}
 	})
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Start != out[j].Start {
-			return out[i].Start < out[j].Start
-		}
-		return out[i].SpanID < out[j].SpanID
-	})
+	sortSpans(out)
 	return out
 }
 
-// Roots returns the most recent root spans (ParentID == 0), newest first,
-// at most one per trace, capped at max (≤0 means no cap). This is the
-// telemetry plane's /traces listing: "what end-to-end calls happened
-// lately".
-func Roots(max int) []SpanData {
+// Collect returns every recorded span of one trace, ordered by start time
+// (ties broken by span ID for determinism).
+func Collect(traceID uint64) []SpanData {
+	return collectIn(recPtr.Load(), traceID)
+}
+
+// rootsIn returns the most recent root spans of a recorder, newest first,
+// at most one per trace, capped at max (≤0 means no cap).
+func rootsIn(r *recorder, max int) []SpanData {
 	latest := make(map[uint64]SpanData)
-	scan(func(sd SpanData) {
+	scanIn(r, func(sd SpanData) {
 		if sd.ParentID != 0 {
 			return
 		}
@@ -76,18 +79,25 @@ func Roots(max int) []SpanData {
 	return out
 }
 
+// Roots returns the most recent root spans (ParentID == 0), newest first,
+// at most one per trace, capped at max (≤0 means no cap). This is the
+// telemetry plane's /traces listing: "what end-to-end calls happened
+// lately".
+func Roots(max int) []SpanData {
+	return rootsIn(recPtr.Load(), max)
+}
+
 // Node is one span in a trace tree, children ordered by start time.
 type Node struct {
 	SpanData
 	Children []*Node `json:",omitempty"`
 }
 
-// Tree assembles one trace's spans into parent→child trees. Spans whose
-// parent is absent from the ring (not yet ended, or already overwritten)
-// surface as additional roots rather than vanishing, so a partially
-// recorded trace still renders.
-func Tree(traceID uint64) []*Node {
-	spans := Collect(traceID)
+// treeOf assembles start-ordered spans into parent→child trees. Spans
+// whose parent is absent (not yet ended, or already overwritten) surface
+// as additional roots rather than vanishing, so a partially recorded
+// trace still renders.
+func treeOf(spans []SpanData) []*Node {
 	if len(spans) == 0 {
 		return nil
 	}
@@ -105,4 +115,9 @@ func Tree(traceID uint64) []*Node {
 		}
 	}
 	return roots
+}
+
+// Tree assembles one trace's spans into parent→child trees.
+func Tree(traceID uint64) []*Node {
+	return treeOf(Collect(traceID))
 }

@@ -196,6 +196,7 @@ type Span struct {
 	prevParent uint64 // info.Parent before Begin, restored by End
 	start      int64  // UnixNano
 	name       NameID
+	spec       bool // speculative tail-capture trace (tail.go)
 }
 
 // Begin opens a span over the traced work that follows: it mints a span
@@ -214,6 +215,7 @@ func Begin(info *kernel.Info, name NameID) Span {
 		prevParent: info.Parent,
 		start:      time.Now().UnixNano(),
 		name:       name,
+		spec:       info.Spec,
 	}
 	info.Parent = info.Span
 	info.Span = id
@@ -236,13 +238,34 @@ func (sp Span) End(info *kernel.Info, err error) {
 	if err != nil {
 		errText = err.Error()
 	}
-	rec().emit(sp.TraceID, sp.ID, sp.Parent, sp.name, sp.start, time.Now().UnixNano()-sp.start, errText)
+	dur := time.Now().UnixNano() - sp.start
+	if sp.spec {
+		// Speculative tail-capture trace: spans buffer on the side, and
+		// the root span's End settles the slow-or-not bet (tail.go).
+		specEmit(sp.TraceID, sp.ID, sp.Parent, sp.name, sp.start, dur, errText)
+		if sp.Parent == 0 {
+			specFinish(sp.TraceID, sp.name, dur)
+		}
+		return
+	}
+	rec().emit(sp.TraceID, sp.ID, sp.Parent, sp.name, sp.start, dur, errText)
+	// A head-sampled root that ran slow is copied to the slow ring so
+	// /traces/slow is complete regardless of how the trace was sampled.
+	if sp.Parent == 0 {
+		if thr := slowThreshold(sp.name); thr > 0 && dur >= thr {
+			commitSampledSlow(sp.TraceID)
+		}
+	}
 }
 
 // Event records an instantaneous zero-duration span (a failover, a cache
 // hit) parented at info's current span. Untraced infos cost a nil test.
 func Event(info *kernel.Info, name NameID) {
 	if info == nil || info.Trace == 0 {
+		return
+	}
+	if info.Spec {
+		specEmit(info.Trace, nextSpanID(), info.Span, name, time.Now().UnixNano(), 0, "")
 		return
 	}
 	rec().emit(info.Trace, nextSpanID(), info.Span, name, time.Now().UnixNano(), 0, "")
@@ -334,11 +357,14 @@ func rec() *recorder {
 	return r
 }
 
-// Reset discards all recorded spans (tests, and scbench between phases).
+// Reset discards all recorded spans — main ring, slow ring and pending
+// speculative buffers (tests, and scbench between phases). Configured
+// thresholds and sampling survive.
 func Reset() {
 	recMu.Lock()
-	defer recMu.Unlock()
 	recPtr.Store(nil)
+	recMu.Unlock()
+	resetTail()
 }
 
 // emit claims the next slot in the span's shard and publishes the record
